@@ -1,0 +1,433 @@
+package progopt
+
+// One benchmark per figure of the paper's evaluation regenerates that
+// figure's data (reduced scale; run cmd/progopt for full sweeps), plus
+// ablation benches for the design decisions called out in DESIGN.md.
+// Benchmarks report headline metrics via b.ReportMetric so `go test
+// -bench=.` output doubles as a reproduction summary.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+
+	"progopt/internal/core"
+	cachemodel "progopt/internal/costmodel/cache"
+	"progopt/internal/costmodel/markov"
+	"progopt/internal/costmodel/peo"
+	"progopt/internal/exec"
+	"progopt/internal/experiments"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/tpch"
+)
+
+// benchCfg is the reduced-but-not-quick scale used by the figure benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		VectorSize: 1024,
+		Lineitems:  150 * 1024,
+		PermSample: 12,
+		Seed:       1,
+	}
+}
+
+func runFigure(b *testing.B, id string, metric func([]*experiments.Report) (float64, string)) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reps []*experiments.Report
+	for i := 0; i < b.N; i++ {
+		reps, err = e.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metric != nil {
+		v, unit := metric(reps)
+		b.ReportMetric(v, unit)
+	}
+}
+
+// cellF parses a report cell as float.
+func cellF(b *testing.B, r *experiments.Report, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(r.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, r.Rows[row][col], err)
+	}
+	return v
+}
+
+func colOf(b *testing.B, r *experiments.Report, name string) int {
+	b.Helper()
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	b.Fatalf("no column %q in %v", name, r.Columns)
+	return -1
+}
+
+func BenchmarkFig01(b *testing.B) {
+	runFigure(b, "fig01", func(reps []*experiments.Report) (float64, string) {
+		r := reps[0]
+		c := colOf(b, r, "worst_best_ratio")
+		max := 0.0
+		for i := range r.Rows {
+			if v := cellF(b, r, i, c); v > max {
+				max = v
+			}
+		}
+		return max, "max_worst/best"
+	})
+}
+
+func BenchmarkFig02(b *testing.B) {
+	runFigure(b, "fig02", func(reps []*experiments.Report) (float64, string) {
+		r := reps[0]
+		c := colOf(b, r, "br_mp_pct")
+		peak := 0.0
+		for i := range r.Rows {
+			if v := cellF(b, r, i, c); v > peak {
+				peak = v
+			}
+		}
+		return peak, "peak_mp_pct"
+	})
+}
+
+func BenchmarkFig03(b *testing.B) {
+	runFigure(b, "fig03", func(reps []*experiments.Report) (float64, string) {
+		r := reps[2] // all mispredictions
+		six, ivy := colOf(b, r, "6 States"), colOf(b, r, "Ivy Sample")
+		maxErr := 0.0
+		for i := range r.Rows {
+			if d := math.Abs(cellF(b, r, i, six) - cellF(b, r, i, ivy)); d > maxErr {
+				maxErr = d
+			}
+		}
+		return maxErr, "max_err_pct"
+	})
+}
+
+func BenchmarkFig04(b *testing.B) {
+	runFigure(b, "fig04", func(reps []*experiments.Report) (float64, string) {
+		// Worst measured/predicted ratio deviation from 1 over the grid.
+		worst := 0.0
+		r := reps[2]
+		for i := range r.Rows {
+			for j := 1; j < len(r.Columns); j++ {
+				v, err := strconv.ParseFloat(r.Rows[i][j], 64)
+				if err != nil {
+					continue // "-" cells where prediction ~ 0
+				}
+				if d := math.Abs(v - 1); d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst, "max_ratio_dev"
+	})
+}
+
+func BenchmarkFig06(b *testing.B) {
+	runFigure(b, "fig06", func(reps []*experiments.Report) (float64, string) {
+		// Relative error of the Markov estimate against the simulated Ivy
+		// Bridge counts, averaged over the sweep (excluding ~zero rows).
+		r := reps[0]
+		ivy, est := colOf(b, r, "ivy-bridge"), colOf(b, r, "est_markov")
+		sum, n := 0.0, 0
+		for i := range r.Rows {
+			m := cellF(b, r, i, ivy)
+			if m < 100 {
+				continue
+			}
+			sum += math.Abs(cellF(b, r, i, est)-m) / m
+			n++
+		}
+		return sum / float64(n) * 100, "avg_rel_err_pct"
+	})
+}
+
+func BenchmarkFig07(b *testing.B) { runFigure(b, "fig07", nil) }
+
+func BenchmarkFig08(b *testing.B) { runFigure(b, "fig08", nil) }
+
+func BenchmarkFig09(b *testing.B) { runFigure(b, "fig09", nil) }
+
+func BenchmarkFig11(b *testing.B) {
+	runFigure(b, "fig11", func(reps []*experiments.Report) (float64, string) {
+		r := reps[0]
+		base, opt := colOf(b, r, "base_ms"), colOf(b, r, "optimized_ms")
+		last := len(r.Rows) - 1
+		return cellF(b, r, last, base) / cellF(b, r, last, opt), "worst_peo_speedup"
+	})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	runFigure(b, "fig12", func(reps []*experiments.Report) (float64, string) {
+		// The paper's headline: progressive v. average baseline, best case
+		// over the selectivity sweep.
+		r := reps[0]
+		avg, r10 := colOf(b, r, "avg_base_ms"), colOf(b, r, "avg_reopint_10_ms")
+		best := 0.0
+		for i := range r.Rows {
+			if v := cellF(b, r, i, avg) / cellF(b, r, i, r10); v > best {
+				best = v
+			}
+		}
+		return best, "max_avg_speedup"
+	})
+}
+
+func BenchmarkFig13(b *testing.B) {
+	runFigure(b, "fig13", func(reps []*experiments.Report) (float64, string) {
+		// Sorted data set, worst initial PEO, ReopInt 10 speedup.
+		r := reps[0]
+		base, r10 := colOf(b, r, "base_ms"), colOf(b, r, "reopint_10_ms")
+		last := len(r.Rows) - 1
+		return cellF(b, r, last, base) / cellF(b, r, last, r10), "sorted_worst_speedup"
+	})
+}
+
+func BenchmarkFig14(b *testing.B) {
+	runFigure(b, "fig14", func(reps []*experiments.Report) (float64, string) {
+		// Break-even position: first sortedness level where selection-first
+		// beats join-first (index into the window axis).
+		r := reps[0]
+		sel, join := colOf(b, r, "selection_first_ms"), colOf(b, r, "join_first_ms")
+		for i := range r.Rows {
+			if cellF(b, r, i, sel) < cellF(b, r, i, join) {
+				return float64(i), "breakeven_idx"
+			}
+		}
+		return float64(len(r.Rows)), "breakeven_idx"
+	})
+}
+
+func BenchmarkFig15(b *testing.B) {
+	runFigure(b, "fig15", func(reps []*experiments.Report) (float64, string) {
+		// Minimum part-first/orders-first ratio; > 1 everywhere means orders
+		// first always wins, as the paper reports.
+		r := reps[0]
+		of, pf := colOf(b, r, "orders_first_ms"), colOf(b, r, "part_first_ms")
+		min := math.Inf(1)
+		for i := range r.Rows {
+			if v := cellF(b, r, i, pf) / cellF(b, r, i, of); v < min {
+				min = v
+			}
+		}
+		return min, "min_part/orders"
+	})
+}
+
+func BenchmarkFig16(b *testing.B) {
+	runFigure(b, "fig16", func(reps []*experiments.Report) (float64, string) {
+		r := reps[0]
+		en := colOf(b, r, "enumerator_overhead_pct")
+		return cellF(b, r, len(r.Rows)-1, en), "enum_overhead_pct_10preds"
+	})
+}
+
+func BenchmarkExtEnum(b *testing.B) {
+	runFigure(b, "ext-enum", func(reps []*experiments.Report) (float64, string) {
+		// Enumerator/PMU runtime ratio at the largest vector size: > 1 means
+		// the PMU approach wins once its inversion cost amortizes.
+		r := reps[0]
+		c := colOf(b, r, "enum_vs_pmu")
+		return cellF(b, r, len(r.Rows)-1, c), "enum/pmu_largest_vec"
+	})
+}
+
+func BenchmarkExtMicro(b *testing.B) {
+	runFigure(b, "ext-micro", func(reps []*experiments.Report) (float64, string) {
+		// Adaptive runtime at 50% selectivity relative to pure branching:
+		// < 1 means micro-adaptivity pays off where mispredictions peak.
+		r := reps[0]
+		br, ad := colOf(b, r, "branching_ms"), colOf(b, r, "adaptive_ms")
+		mid := len(r.Rows) / 2
+		return cellF(b, r, mid, ad) / cellF(b, r, mid, br), "adaptive/branching_mid"
+	})
+}
+
+func BenchmarkExtStatic(b *testing.B) {
+	runFigure(b, "ext-static", func(reps []*experiments.Report) (float64, string) {
+		// Progressive speedup over the static plan built from the stale
+		// 1%-prefix histogram.
+		r := reps[0]
+		st, pr := colOf(b, r, "static_ms"), colOf(b, r, "static+prog_ms")
+		return cellF(b, r, 0, st) / cellF(b, r, 0, pr), "prog_vs_stale_static"
+	})
+}
+
+// --- Ablation benches (DESIGN.md, "Key design decisions") ---
+
+func ablationDataset(b *testing.B, rows int, ord tpch.Ordering) *tpch.Dataset {
+	b.Helper()
+	d, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ord != tpch.OrderingNatural {
+		d = d.ReorderLineitem(ord, 4)
+	}
+	return d
+}
+
+func progressiveCycles(b *testing.B, d *tpch.Dataset, vectorSize int, opt core.Options) uint64 {
+	b.Helper()
+	c := cpu.MustNew(cpu.ScaledXeon())
+	eng := exec.MustEngine(c, vectorSize)
+	q, err := exec.Q6(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.BindQuery(q); err != nil {
+		b.Fatal(err)
+	}
+	// Worst-ish initial order: reversed.
+	qo, err := q.WithOrder([]int{4, 3, 2, 1, 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, _, err := core.RunProgressive(eng, qo, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Cycles
+}
+
+// BenchmarkAblationVectorSize: sampling granularity v. adaptation lag.
+func BenchmarkAblationVectorSize(b *testing.B) {
+	for _, vs := range []int{512, 2048, 8192} {
+		b.Run(fmt.Sprintf("vec%d", vs), func(b *testing.B) {
+			d := ablationDataset(b, 120_000, tpch.OrderingShipdateSorted)
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = progressiveCycles(b, d, vs, core.Options{ReopInterval: 10})
+			}
+			b.ReportMetric(float64(cycles), "sim_cycles")
+		})
+	}
+}
+
+// BenchmarkAblationPredictorReset: JIT recompilation clears predictor state.
+func BenchmarkAblationPredictorReset(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "reset"
+		if disable {
+			name = "no-reset"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := ablationDataset(b, 120_000, tpch.OrderingShipdateSorted)
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = progressiveCycles(b, d, 1024, core.Options{
+					ReopInterval: 10, DisablePredictorReset: disable,
+				})
+			}
+			b.ReportMetric(float64(cycles), "sim_cycles")
+		})
+	}
+}
+
+// BenchmarkAblationRevert: validation reverting bad reorders matters on
+// random data (Figure 13c).
+func BenchmarkAblationRevert(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "validate"
+		if disable {
+			name = "no-validate"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := ablationDataset(b, 120_000, tpch.OrderingRandom)
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = progressiveCycles(b, d, 1024, core.Options{
+					ReopInterval: 5, DisableValidation: disable,
+				})
+			}
+			b.ReportMetric(float64(cycles), "sim_cycles")
+		})
+	}
+}
+
+// estimationError measures mean absolute selectivity error of the estimator
+// against a known synthetic forward-model sample.
+func estimationError(b *testing.B, cfg core.EstimatorConfig, truth []float64) float64 {
+	b.Helper()
+	params := peo.Params{
+		N: 1 << 20, Widths: cfg.Widths, AggWidths: cfg.AggWidths,
+		Geometry: cfg.Geometry, Chain: cfg.Chain,
+	}
+	est, err := peo.Counters(params, truth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := core.CounterSample{
+		N: float64(params.N), BNT: est.BNT, MPTaken: est.MPTaken,
+		MPNotTaken: est.MPNotTaken, L3: est.L3, Qualifying: est.Qualifying,
+	}
+	got, err := core.EstimateSelectivities(sample, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum := 0.0
+	for i := range truth {
+		sum += math.Abs(got.Sels[i] - truth[i])
+	}
+	return sum / float64(len(truth))
+}
+
+func ablationEstCfg() core.EstimatorConfig {
+	return core.EstimatorConfig{
+		Widths:    []int{8, 8, 8, 8},
+		AggWidths: []int{8},
+		Geometry:  cachemodel.MustGeometry(64, 16384),
+		Chain:     markov.Paper(),
+	}
+}
+
+// BenchmarkAblationStartPoints: §4.3's multi-start against a single
+// null-hypothesis start. The truth vector is a skewed configuration whose
+// counter surface has a local optimum near the even-split null hypothesis —
+// exactly the ambiguity §4.3 describes.
+func BenchmarkAblationStartPoints(b *testing.B) {
+	truth := []float64{1, 0.02, 1, 0.9}
+	for _, starts := range []int{1, 8} {
+		b.Run(fmt.Sprintf("starts%d", starts), func(b *testing.B) {
+			var errv float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationEstCfg()
+				cfg.MaxStarts = starts
+				errv = estimationError(b, cfg, truth)
+			}
+			b.ReportMetric(errv, "mean_abs_sel_err")
+		})
+	}
+}
+
+// BenchmarkAblationCounterSubsets: estimating from BNT alone v. all four
+// counters of Eq. (10).
+func BenchmarkAblationCounterSubsets(b *testing.B) {
+	truth := []float64{0.8, 0.3, 0.6, 0.1}
+	weights := map[string]*core.CounterWeights{
+		"bnt-only": {BNT: 1},
+		"all-four": nil,
+	}
+	for name, w := range weights {
+		b.Run(name, func(b *testing.B) {
+			var errv float64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationEstCfg()
+				cfg.Weights = w
+				errv = estimationError(b, cfg, truth)
+			}
+			b.ReportMetric(errv, "mean_abs_sel_err")
+		})
+	}
+}

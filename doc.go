@@ -1,0 +1,28 @@
+// Package progopt is a from-scratch reproduction of "Non-Invasive
+// Progressive Optimization for In-Memory Databases" (Zeuch, Pirk, Freytag,
+// PVLDB 9(14), 2016): an in-memory columnar query engine that re-optimizes
+// multi-selection queries and join orders *during* execution, driven purely
+// by CPU performance counters.
+//
+// Because real performance-monitoring units are neither portable nor
+// deterministic, the engine runs on a simulated core (branch predictors, a
+// three-level cache hierarchy with a stream prefetcher, PMU counters, and
+// cycle accounting) that mirrors every column access and conditional branch
+// of query execution. Everything above the counters — the Markov-chain
+// branch cost model, the Pirk/Manegold cache cost models, the Nelder-Mead
+// selectivity estimator with search-space restriction, and the progressive
+// reorder-validate-revert loop — is the paper's machinery, unchanged.
+//
+// # Quick start
+//
+//	eng, err := progopt.New(progopt.Config{})
+//	if err != nil { ... }
+//	ds, err := eng.GenerateTPCH(1_000_000, 42, progopt.OrderNatural)
+//	q, err := eng.BuildQ6(ds)
+//	baseline, err := eng.Run(q)                             // fixed PEO
+//	adaptive, stats, err := eng.RunProgressive(q, progopt.Progressive{Interval: 10})
+//	fmt.Printf("%.1fx faster, %d reorders\n", baseline.Millis/adaptive.Millis, stats.Reorders)
+//
+// See the examples/ directory for runnable programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology and per-figure results.
+package progopt

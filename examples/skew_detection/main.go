@@ -1,0 +1,58 @@
+// Skew detection (§4.5): the estimator inverts four PMU counters into
+// per-predicate selectivities without any explicit counting. On skewed data
+// the same query shows different estimated selectivities in different
+// regions of the table — the signal that triggers mid-query reordering.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"progopt"
+)
+
+func main() {
+	eng, err := progopt.New(progopt.Config{VectorSize: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Natural (bulk-load) order: shipdate is weakly clustered, so shipdate
+	// predicates are skewed along the table while quantity stays uniform.
+	ds, err := eng.GenerateTPCH(200_000, 13, progopt.OrderNatural)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cutoff := ds.ShipdateCutoff(0.5) // global selectivity 50%
+	q, err := eng.BuildScan(ds, []progopt.Predicate{
+		{Column: "l_shipdate", Op: progopt.CmpLE, Int: int64(cutoff)},
+		{Column: "l_quantity", Op: progopt.CmpLT, Int: 24},
+	}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("estimated selectivities from one sampled vector (PMU counters only):")
+	sels, err := eng.EstimateSelectivities(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, name := range q.OpNames() {
+		fmt.Printf("  %-22s est=%.3f\n", name, sels[i])
+	}
+	fmt.Println("\nglobally, shipdate<=cutoff selects 50% — but the sampled vector is at")
+	fmt.Println("the start of the bulk-loaded table where nearly every row qualifies.")
+	fmt.Println("That difference IS the skew: a static optimizer using the global")
+	fmt.Println("statistic would order the predicates wrongly for this region.")
+
+	// Run the full query progressively and show how often the optimizer
+	// reacted to the drifting selectivity.
+	res, stats, err := eng.RunProgressive(q, progopt.Progressive{Interval: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprogressive run: %.2f ms, %d rows, %d optimizations, %d reorders (%d reverted)\n",
+		res.Millis, res.Qualifying, stats.Optimizations, stats.Reorders, stats.Reverts)
+	fmt.Printf("final selectivity estimate per position: %.3v\n", stats.LastEstimate)
+}

@@ -1,0 +1,54 @@
+package progopt
+
+import (
+	cachemodel "progopt/internal/costmodel/cache"
+	"progopt/internal/experiments"
+	"progopt/internal/hw/cpu"
+)
+
+func cacheGeometry(prof cpu.Profile) cachemodel.Geometry {
+	return cachemodel.Geometry{
+		LineSize:      prof.Hierarchy.L3.LineSize,
+		CapacityLines: prof.Hierarchy.L3.Lines(),
+	}
+}
+
+// ExperimentIDs lists the reproducible figure experiments in paper order.
+func ExperimentIDs() []string {
+	all := experiments.All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ExperimentTable is one rendered result table of an experiment.
+type ExperimentTable struct {
+	// ID identifies the (sub)figure, e.g. "fig13a".
+	ID string
+	// Title describes the table.
+	Title string
+	// Text is the aligned ASCII rendering.
+	Text string
+	// CSV is the same data as comma-separated values.
+	CSV string
+}
+
+// RunExperiment regenerates one of the paper's figures. quick shrinks data
+// sizes and sweep resolution (seconds instead of minutes).
+func RunExperiment(id string, quick bool) ([]ExperimentTable, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := e.Run(experiments.Config{Quick: quick})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExperimentTable, len(reps))
+	for i, r := range reps {
+		out[i] = ExperimentTable{ID: r.ID, Title: r.Title, Text: r.String(), CSV: r.CSV()}
+	}
+	return out, nil
+}

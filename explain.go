@@ -1,0 +1,108 @@
+package progopt
+
+import (
+	"fmt"
+	"strings"
+
+	cachemodel "progopt/internal/costmodel/cache"
+	"progopt/internal/costmodel/markov"
+	"progopt/internal/costmodel/peo"
+	"progopt/internal/exec"
+)
+
+// OpExplain describes one operator in an explained plan.
+type OpExplain struct {
+	// Position is the evaluation position (0 = first).
+	Position int
+	// Name is the operator's display name.
+	Name string
+	// Kind is "predicate" or "join".
+	Kind string
+	// TrueSelectivity is the operator's standalone selectivity measured
+	// directly on the data (what a perfect oracle would know).
+	TrueSelectivity float64
+	// EstimatedInput is the expected fraction of table rows reaching this
+	// operator under independence.
+	EstimatedInput float64
+}
+
+// PlanExplain describes a query plan with per-operator facts and the cost
+// model's counter predictions for the current order.
+type PlanExplain struct {
+	// Table is the driving table name and Rows its cardinality.
+	Table string
+	Rows  int
+	// Ops describes the operators in evaluation order.
+	Ops []OpExplain
+	// PredictedBNT, PredictedMP, PredictedL3 are the §3 model's counter
+	// predictions for one full scan in this order.
+	PredictedBNT, PredictedMP, PredictedL3 float64
+	// PredictedQualifying is the expected output cardinality under
+	// independence.
+	PredictedQualifying float64
+}
+
+// String renders the plan in an EXPLAIN-like block.
+func (p PlanExplain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scan %s (%d rows)\n", p.Table, p.Rows)
+	for _, op := range p.Ops {
+		fmt.Fprintf(&b, "  %d: %-24s %-9s sel=%.4f  input=%.4f\n",
+			op.Position, op.Name, op.Kind, op.TrueSelectivity, op.EstimatedInput)
+	}
+	fmt.Fprintf(&b, "predicted: BNT=%.0f MP=%.0f L3=%.0f out=%.0f\n",
+		p.PredictedBNT, p.PredictedMP, p.PredictedL3, p.PredictedQualifying)
+	return b.String()
+}
+
+// Explain inspects the query without simulating it: per-operator true
+// selectivities (measured directly on the data) and the cost models'
+// counter predictions for the current evaluation order.
+func (e *Engine) Explain(q *Query) (PlanExplain, error) {
+	out := PlanExplain{
+		Table: q.q.Table.Name(),
+		Rows:  q.q.Table.NumRows(),
+	}
+	sels := make([]float64, len(q.q.Ops))
+	widths := make([]int, len(q.q.Ops))
+	input := 1.0
+	for i, op := range q.q.Ops {
+		oe := OpExplain{Position: i, Name: op.Name(), EstimatedInput: input}
+		widths[i] = op.Width()
+		switch o := op.(type) {
+		case *exec.Predicate:
+			oe.Kind = "predicate"
+			oe.TrueSelectivity = o.TrueSelectivity()
+		case *exec.FKJoin:
+			oe.Kind = "join"
+			oe.TrueSelectivity = o.JoinSelectivity()
+		default:
+			oe.Kind = "operator"
+			oe.TrueSelectivity = 1
+		}
+		sels[i] = oe.TrueSelectivity
+		input *= oe.TrueSelectivity
+		out.Ops = append(out.Ops, oe)
+	}
+	prof := e.cpu.Profile()
+	params := peo.Params{
+		N:        out.Rows,
+		Widths:   widths,
+		Geometry: cachemodel.Geometry{LineSize: prof.Hierarchy.L3.LineSize, CapacityLines: prof.Hierarchy.L3.Lines()},
+		Chain:    markov.Paper(),
+	}
+	if q.q.Agg != nil {
+		for _, col := range q.q.Agg.Cols {
+			params.AggWidths = append(params.AggWidths, col.Width())
+		}
+	}
+	est, err := peo.Counters(params, sels)
+	if err != nil {
+		return PlanExplain{}, err
+	}
+	out.PredictedBNT = est.BNT
+	out.PredictedMP = est.MP()
+	out.PredictedL3 = est.L3
+	out.PredictedQualifying = est.Qualifying
+	return out, nil
+}

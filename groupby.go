@@ -1,0 +1,47 @@
+package progopt
+
+import (
+	"fmt"
+
+	"progopt/internal/exec"
+)
+
+// GroupRow is one output row of a grouped aggregation.
+type GroupRow struct {
+	// Key is the group key.
+	Key int64
+	// Sum is the aggregated value and Count the contributing tuple count.
+	Sum   float64
+	Count int64
+}
+
+// RunGroupBy executes the query's filters and aggregates the survivors as
+// SELECT groupCol, SUM(valueCol), COUNT(*) GROUP BY groupCol, returning the
+// groups sorted by key plus the run's execution result.
+func (e *Engine) RunGroupBy(d *Dataset, q *Query, groupCol, valueCol string) ([]GroupRow, Result, error) {
+	g := d.d.Lineitem.Column(groupCol)
+	v := d.d.Lineitem.Column(valueCol)
+	if g == nil || v == nil {
+		return nil, Result{}, fmt.Errorf("progopt: unknown column %q or %q", groupCol, valueCol)
+	}
+	// Size the hash table from the key domain (bounded by row count).
+	distinct := 1024
+	if n := d.d.Lineitem.NumRows(); n < distinct {
+		distinct = n
+	}
+	gb, err := exec.NewGroupBy(e.cpu, g, v, distinct)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	e.cpu.FlushCaches()
+	e.cpu.ResetPredictor()
+	res, err := e.eng.RunGroupBy(q.q, gb)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	rows := make([]GroupRow, len(res.Groups))
+	for i, gr := range res.Groups {
+		rows[i] = GroupRow{Key: gr.Key, Sum: gr.Sum, Count: gr.Count}
+	}
+	return rows, toResult(res.Result), nil
+}

@@ -1,0 +1,219 @@
+package columnar
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary table format:
+//
+//	magic "PCOL" | version u32 | nameLen u32 | name | numCols u32
+//	per column: nameLen u32 | name | kind u32 | rows u64 | payload (LE)
+//
+// The format exists so generated data sets (cmd/tpchgen) can be produced once
+// and reloaded by benchmarks and examples.
+
+const (
+	formatMagic   = "PCOL"
+	formatVersion = 1
+	// maxStringLen bounds on-disk string lengths to keep corrupt files from
+	// driving huge allocations.
+	maxStringLen = 1 << 16
+	// maxRows bounds per-column row counts on load (1B rows).
+	maxRows = 1 << 30
+)
+
+// WriteTable serializes t to w in the binary column format.
+func WriteTable(w io.Writer, t *Table) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(formatMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(formatVersion)); err != nil {
+		return err
+	}
+	if err := writeString(bw, t.Name()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(t.NumCols())); err != nil {
+		return err
+	}
+	for _, c := range t.Columns() {
+		if err := writeColumn(bw, c); err != nil {
+			return fmt.Errorf("columnar: writing column %q: %w", c.Name(), err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("columnar: string of %d bytes exceeds format limit", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeColumn(w io.Writer, c *Column) error {
+	if err := writeString(w, c.Name()); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(c.Kind())); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(c.Len())); err != nil {
+		return err
+	}
+	var buf [8]byte
+	switch c.Kind() {
+	case Int64:
+		for _, v := range c.I64() {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			if _, err := w.Write(buf[:8]); err != nil {
+				return err
+			}
+		}
+	case Float64:
+		for _, v := range c.F64() {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			if _, err := w.Write(buf[:8]); err != nil {
+				return err
+			}
+		}
+	case Int32, Date:
+		for _, v := range c.I32() {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+			if _, err := w.Write(buf[:4]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("columnar: unsupported kind %v", c.Kind())
+	}
+	return nil
+}
+
+// ReadTable parses a table from r.
+func ReadTable(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("columnar: reading magic: %w", err)
+	}
+	if string(magic) != formatMagic {
+		return nil, fmt.Errorf("columnar: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("columnar: unsupported format version %d", version)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var numCols uint32
+	if err := binary.Read(br, binary.LittleEndian, &numCols); err != nil {
+		return nil, err
+	}
+	if numCols > 4096 {
+		return nil, fmt.Errorf("columnar: implausible column count %d", numCols)
+	}
+	t := NewTable(name)
+	for i := uint32(0); i < numCols; i++ {
+		c, err := readColumn(br)
+		if err != nil {
+			return nil, fmt.Errorf("columnar: reading column %d: %w", i, err)
+		}
+		if err := t.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("columnar: string length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func readColumn(r io.Reader) (*Column, error) {
+	name, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	var kind uint32
+	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+		return nil, err
+	}
+	var rows uint64
+	if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+		return nil, err
+	}
+	if rows > maxRows {
+		return nil, fmt.Errorf("columnar: row count %d exceeds limit", rows)
+	}
+	n := int(rows)
+	switch Kind(kind) {
+	case Int64:
+		data := make([]int64, n)
+		if err := readU64Slice(r, data); err != nil {
+			return nil, err
+		}
+		return NewInt64(name, data), nil
+	case Float64:
+		raw := make([]int64, n)
+		if err := readU64Slice(r, raw); err != nil {
+			return nil, err
+		}
+		data := make([]float64, n)
+		for i, v := range raw {
+			data[i] = math.Float64frombits(uint64(v))
+		}
+		return NewFloat64(name, data), nil
+	case Int32, Date:
+		data := make([]int32, n)
+		buf := make([]byte, 4)
+		for i := range data {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, err
+			}
+			data[i] = int32(binary.LittleEndian.Uint32(buf))
+		}
+		if Kind(kind) == Date {
+			return NewDate(name, data), nil
+		}
+		return NewInt32(name, data), nil
+	default:
+		return nil, fmt.Errorf("columnar: unknown kind %d", kind)
+	}
+}
+
+func readU64Slice(r io.Reader, dst []int64) error {
+	buf := make([]byte, 8)
+	for i := range dst {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		dst[i] = int64(binary.LittleEndian.Uint64(buf))
+	}
+	return nil
+}

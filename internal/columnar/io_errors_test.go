@@ -1,0 +1,135 @@
+package columnar
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails after n bytes, exercising mid-stream write errors.
+type failWriter struct {
+	n       int
+	written int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		return 0, errors.New("disk full")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteTableFailurePaths(t *testing.T) {
+	tb := NewTable("t")
+	tb.MustAddColumn(NewInt64("a", make([]int64, 1000)))
+	tb.MustAddColumn(NewFloat64("b", make([]float64, 1000)))
+	tb.MustAddColumn(NewInt32("c", make([]int32, 1000)))
+	// Fail at several depths into the stream: header, column header, payload.
+	for _, lim := range []int{0, 2, 10, 30, 600, 9000} {
+		if err := WriteTable(&failWriter{n: lim}, tb); err == nil {
+			t.Errorf("write with %d-byte budget succeeded", lim)
+		}
+	}
+	// A generous budget succeeds.
+	if err := WriteTable(&failWriter{n: 1 << 20}, tb); err != nil {
+		t.Errorf("write with ample budget failed: %v", err)
+	}
+}
+
+func TestWriteTableRejectsHugeName(t *testing.T) {
+	tb := NewTable(strings.Repeat("x", 1<<17))
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tb); err == nil {
+		t.Error("oversized table name accepted")
+	}
+}
+
+// corruptAt flips the table stream at a field and checks ReadTable rejects it.
+func TestReadTableCorruptions(t *testing.T) {
+	tb := NewTable("t")
+	tb.MustAddColumn(NewInt64("a", []int64{1, 2, 3}))
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutate := func(name string, f func(b []byte)) {
+		b := append([]byte(nil), good...)
+		f(b)
+		if _, err := ReadTable(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	mutate("bad version", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[4:], 99)
+	})
+	mutate("huge name length", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[8:], 1<<30)
+	})
+	mutate("huge column count", func(b []byte) {
+		// name "t" is 1 byte; numCols lives at offset 4+4+4+1.
+		binary.LittleEndian.PutUint32(b[13:], 1<<20)
+	})
+	// Unknown column kind: kind field follows numCols(4) + colNameLen(4) +
+	// colName("a" = 1 byte).
+	mutate("unknown kind", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[22:], 77)
+	})
+	// Huge row count follows the kind.
+	mutate("huge rows", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[26:], 1<<40)
+	})
+}
+
+func TestReadTableTruncatedAtEveryBoundary(t *testing.T) {
+	tb := NewTable("tbl")
+	tb.MustAddColumn(NewDate("d", []int32{100, 200}))
+	tb.MustAddColumn(NewFloat64("f", []float64{1.5, 2.5}))
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut += 3 {
+		if _, err := ReadTable(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	if _, err := ReadTable(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+func TestMustAddColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddColumn on duplicate did not panic")
+		}
+	}()
+	tb := NewTable("t")
+	tb.MustAddColumn(NewInt64("a", nil))
+	tb.MustAddColumn(NewInt64("a", nil))
+}
+
+type failAlloc struct{}
+
+func (failAlloc) Alloc(int) (uint64, error) { return 0, errors.New("address space exhausted") }
+
+func TestBindAllPropagatesAllocError(t *testing.T) {
+	tb := NewTable("t")
+	tb.MustAddColumn(NewInt64("a", make([]int64, 10)))
+	if err := tb.BindAll(failAlloc{}); err == nil {
+		t.Error("allocator failure swallowed")
+	}
+	// Zero-row tables still bind (1-byte allocation).
+	empty := NewTable("e")
+	empty.MustAddColumn(NewInt64("a", nil))
+	ok := &fakeAlloc{next: 4096}
+	if err := empty.BindAll(ok); err != nil {
+		t.Errorf("empty table bind failed: %v", err)
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	cachemodel "progopt/internal/costmodel/cache"
+	"progopt/internal/costmodel/markov"
+	"progopt/internal/costmodel/peo"
+	"progopt/internal/hw/pmu"
+)
+
+// CounterSample carries the per-interval PMU readings the estimator inverts:
+// the paper's four counters plus the two exact cardinalities derived from
+// them (§4.1).
+type CounterSample struct {
+	// N is the number of tuples executed in the sampled interval.
+	N float64
+	// BNT is branches not taken.
+	BNT float64
+	// MPTaken and MPNotTaken are the misprediction counters.
+	MPTaken, MPNotTaken float64
+	// L3 is the L3-access counter (demand + prefetch).
+	L3 float64
+	// Qualifying is the output cardinality, 2n - branchesTaken (§2.2.1).
+	Qualifying float64
+}
+
+// SampleFromPMU derives a CounterSample from a PMU delta over n tuples.
+func SampleFromPMU(delta pmu.Sample, n int) CounterSample {
+	qual := 2*float64(n) - float64(delta.Get(pmu.BrTaken))
+	if qual < 0 {
+		qual = 0
+	}
+	if qual > float64(n) {
+		qual = float64(n)
+	}
+	return CounterSample{
+		N:          float64(n),
+		BNT:        float64(delta.Get(pmu.BrNotTaken)),
+		MPTaken:    float64(delta.Get(pmu.BrMPTaken)),
+		MPNotTaken: float64(delta.Get(pmu.BrMPNotTaken)),
+		L3:         float64(delta.Get(pmu.L3Access)),
+		Qualifying: qual,
+	}
+}
+
+// EstimatorConfig configures selectivity estimation for one PEO.
+type EstimatorConfig struct {
+	// Widths are the operator input widths in current evaluation order.
+	Widths []int
+	// AggWidths are aggregation column widths.
+	AggWidths []int
+	// Geometry models the L3 level.
+	Geometry cachemodel.Geometry
+	// Chain models the branch predictor.
+	Chain markov.Chain
+	// MaxIterNM bounds Nelder-Mead iterations per start (default 10000, the
+	// paper's best setting).
+	MaxIterNM int
+	// AbsTol is the paper's absolute tolerance of 1 between iterations,
+	// applied to the raw counter-difference objective of Eq. (10).
+	AbsTol float64
+	// NoImproveLimit stops after this many consecutive starts without
+	// improvement (the paper's n < 5; default 4).
+	NoImproveLimit int
+	// MaxStarts bounds the number of start points (the paper's m = 2p;
+	// default 2*len(Widths)).
+	MaxStarts int
+	// Weights scales each counter's contribution to the Eq. (10) objective;
+	// nil weights every counter at 1 (the paper's choice). Used by the
+	// counter-subset ablation.
+	Weights *CounterWeights
+}
+
+// CounterWeights scales the four counters in the estimation objective.
+type CounterWeights struct {
+	BNT, L3, MPNotTaken, MPTaken float64
+}
+
+func (c *EstimatorConfig) setDefaults() {
+	if c.MaxIterNM <= 0 {
+		c.MaxIterNM = 10000
+	}
+	if c.AbsTol <= 0 {
+		c.AbsTol = 1
+	}
+	if c.NoImproveLimit <= 0 {
+		c.NoImproveLimit = 4
+	}
+	if c.MaxStarts <= 0 {
+		c.MaxStarts = 2 * len(c.Widths)
+	}
+	if c.Chain.States() == 0 {
+		c.Chain = markov.Paper()
+	}
+	if c.Geometry.LineSize == 0 {
+		c.Geometry = cachemodel.MustGeometry(64, 16384)
+	}
+}
+
+// Estimation is the estimator's output.
+type Estimation struct {
+	// Sels are the estimated per-predicate selectivities in evaluation order.
+	Sels []float64
+	// Products are the cumulative selectivity products (accesses/tupsIn).
+	Products []float64
+	// Cost is the Eq. (10) objective at the estimate.
+	Cost float64
+	// Starts is the number of start points tried.
+	Starts int
+	// NMEvaluations counts objective evaluations across all starts — the
+	// optimization work the progressive driver charges to the CPU.
+	NMEvaluations int
+}
+
+// EstimateSelectivities inverts the counter cost models: it searches the
+// (bounded, §4.1) space of cumulative selectivity products for the vector
+// whose predicted counters (§3) best match the sample, using Nelder-Mead
+// restarts over the §4.3 start-point sequence.
+//
+// The paper's Eq. (10) literally sums signed differences, which would cancel
+// opposite-signed errors; we sum absolute differences, which is evidently
+// the intent (and is what makes the minimum meaningful).
+func EstimateSelectivities(s CounterSample, cfg EstimatorConfig) (Estimation, error) {
+	p := len(cfg.Widths)
+	if p == 0 {
+		return Estimation{}, fmt.Errorf("core: no operators to estimate")
+	}
+	if s.N <= 0 {
+		return Estimation{}, fmt.Errorf("core: non-positive sample size %v", s.N)
+	}
+	cfg.setDefaults()
+	qualFrac := s.Qualifying / s.N
+	if qualFrac < 0 {
+		qualFrac = 0
+	}
+	if qualFrac > 1 {
+		qualFrac = 1
+	}
+	if p == 1 {
+		return Estimation{
+			Sels:     []float64{qualFrac},
+			Products: []float64{qualFrac},
+			Cost:     0,
+			Starts:   0,
+		}, nil
+	}
+
+	bounds, err := Restrict(p, s.N, s.Qualifying, s.BNT)
+	if err != nil {
+		return Estimation{}, err
+	}
+	prodLo, prodHi := bounds.ProductBounds()
+	// The last product is pinned to the exact output fraction; only the
+	// first p-1 products are free.
+	lo, hi := prodLo[:p-1], prodHi[:p-1]
+
+	params := peo.Params{
+		N:         int(s.N),
+		Widths:    cfg.Widths,
+		AggWidths: cfg.AggWidths,
+		Geometry:  cfg.Geometry,
+		Chain:     cfg.Chain,
+	}
+
+	evals := 0
+	selsOf := func(x []float64) ([]float64, float64) {
+		sels := make([]float64, p)
+		penalty := 0.0
+		prev := 1.0
+		for i := 0; i < p; i++ {
+			var prod float64
+			if i < p-1 {
+				prod = x[i]
+			} else {
+				prod = qualFrac
+			}
+			if prod > prev {
+				penalty += (prod - prev) * s.N * 10
+				prod = prev
+			}
+			if prev <= 0 {
+				sels[i] = 0
+			} else {
+				sels[i] = prod / prev
+			}
+			if sels[i] > 1 {
+				sels[i] = 1
+			}
+			if sels[i] < 0 {
+				sels[i] = 0
+			}
+			prev = prod
+		}
+		return sels, penalty
+	}
+	w := cfg.Weights
+	if w == nil {
+		w = &CounterWeights{BNT: 1, L3: 1, MPNotTaken: 1, MPTaken: 1}
+	}
+	objective := func(x []float64) float64 {
+		evals++
+		sels, penalty := selsOf(x)
+		est, err := peo.Counters(params, sels)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return w.BNT*math.Abs(s.BNT-est.BNT) +
+			w.L3*math.Abs(s.L3-est.L3) +
+			w.MPNotTaken*math.Abs(s.MPNotTaken-est.MPNotTaken) +
+			w.MPTaken*math.Abs(s.MPTaken-est.MPTaken) +
+			penalty
+	}
+
+	// Null hypothesis: overall selectivity splits evenly, so products decay
+	// geometrically toward qualFrac.
+	null := make([]float64, p-1)
+	perPred := math.Pow(math.Max(qualFrac, 1e-12), 1/float64(p))
+	prod := 1.0
+	for i := range null {
+		prod *= perPred
+		null[i] = prod
+	}
+	gen, err := NewStartPointGen(lo, hi, null)
+	if err != nil {
+		return Estimation{}, err
+	}
+
+	best := Estimation{Cost: math.Inf(1)}
+	noImprove := 0
+	starts := 0
+	for starts < cfg.MaxStarts && noImprove < cfg.NoImproveLimit {
+		x0 := gen.Next()
+		res, err := NelderMead(objective, x0, NMOptions{
+			MaxIter: cfg.MaxIterNM,
+			AbsTol:  cfg.AbsTol,
+			Lo:      lo,
+			Hi:      hi,
+		})
+		if err != nil {
+			return Estimation{}, err
+		}
+		starts++
+		if res.F < best.Cost-cfg.AbsTol {
+			sels, _ := selsOf(res.X)
+			products := make([]float64, p)
+			pr := 1.0
+			for i, sl := range sels {
+				pr *= sl
+				products[i] = pr
+			}
+			best = Estimation{Sels: sels, Products: products, Cost: res.F}
+			noImprove = 0
+			// A start that drove the counter mismatch below the tolerance
+			// cannot be improved upon meaningfully; stop early to keep the
+			// run-time optimization budget small (§4.4's trade-off).
+			if best.Cost <= cfg.AbsTol {
+				break
+			}
+		} else {
+			noImprove++
+		}
+	}
+	best.Starts = starts
+	best.NMEvaluations = evals
+	if best.Sels == nil {
+		// Every start failed to beat +Inf (cannot happen with a finite
+		// objective, but stay defensive): fall back to the null hypothesis.
+		sels, _ := selsOf(null)
+		best.Sels = sels
+	}
+	return best, nil
+}
+
+// AscendingOrder returns the positions of sels sorted by increasing
+// selectivity — the reorder the paper applies after estimation (most
+// selective predicate first).
+func AscendingOrder(sels []float64) []int {
+	idx := make([]int, len(sels))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && sels[idx[j]] < sels[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}

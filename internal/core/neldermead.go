@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NMOptions configure the Nelder-Mead simplex search. The defaults follow
+// the paper's tuning (§4.2): a maximum of 10k iterations and an absolute
+// tolerance of one between successive best values.
+type NMOptions struct {
+	// MaxIter bounds the number of simplex iterations.
+	MaxIter int
+	// AbsTol terminates when the spread between the best and worst simplex
+	// vertex values falls below it.
+	AbsTol float64
+	// Lo and Hi are per-dimension box bounds; points are clamped into the
+	// box before evaluation. Nil means unbounded.
+	Lo, Hi []float64
+	// InitialStep sizes the starting simplex relative to the box (default
+	// 0.1 of the box width, or 0.1 absolute when unbounded).
+	InitialStep float64
+	// XTol, when positive, additionally requires the simplex diameter to
+	// fall below it before terminating on AbsTol. This guards against the
+	// classic Nelder-Mead stall where vertices straddle a minimum
+	// symmetrically and their values tie exactly. Zero keeps the paper's
+	// value-spread-only criterion.
+	XTol float64
+}
+
+// NMResult reports the optimization outcome.
+type NMResult struct {
+	// X is the best point found (clamped into the box).
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// Iterations is the number of simplex iterations performed.
+	Iterations int
+	// Evaluations counts objective calls (the re-optimization overhead the
+	// progressive driver charges to the simulated CPU).
+	Evaluations int
+}
+
+// NelderMead minimizes f starting from x0 using the Nelder-Mead simplex
+// method (Nelder & Mead 1965), the algorithm the paper selected from NLopt
+// for its selectivity estimation.
+func NelderMead(f func([]float64) float64, x0 []float64, opt NMOptions) (NMResult, error) {
+	d := len(x0)
+	if d == 0 {
+		return NMResult{}, fmt.Errorf("core: zero-dimensional optimization")
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10000
+	}
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 1e-8
+	}
+	if opt.Lo != nil && len(opt.Lo) != d {
+		return NMResult{}, fmt.Errorf("core: lower bound dimension %d != %d", len(opt.Lo), d)
+	}
+	if opt.Hi != nil && len(opt.Hi) != d {
+		return NMResult{}, fmt.Errorf("core: upper bound dimension %d != %d", len(opt.Hi), d)
+	}
+	step := opt.InitialStep
+	if step <= 0 {
+		step = 0.1
+	}
+
+	evals := 0
+	clamp := func(x []float64) {
+		for i := range x {
+			if opt.Lo != nil && x[i] < opt.Lo[i] {
+				x[i] = opt.Lo[i]
+			}
+			if opt.Hi != nil && x[i] > opt.Hi[i] {
+				x[i] = opt.Hi[i]
+			}
+		}
+	}
+	eval := func(x []float64) float64 {
+		clamp(x)
+		evals++
+		return f(x)
+	}
+
+	// Initial simplex: x0 plus d vertices offset along each axis.
+	simplex := make([][]float64, d+1)
+	values := make([]float64, d+1)
+	simplex[0] = append([]float64(nil), x0...)
+	clamp(simplex[0])
+	values[0] = eval(simplex[0])
+	for i := 0; i < d; i++ {
+		v := append([]float64(nil), simplex[0]...)
+		h := step
+		if opt.Lo != nil && opt.Hi != nil {
+			h = step * (opt.Hi[i] - opt.Lo[i])
+			if h == 0 {
+				h = 1e-12
+			}
+		}
+		// Step toward the interior if at the upper bound.
+		if opt.Hi != nil && v[i]+h > opt.Hi[i] {
+			v[i] -= h
+		} else {
+			v[i] += h
+		}
+		simplex[i+1] = v
+		values[i+1] = eval(v)
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	order := make([]int, d+1)
+	iter := 0
+	for ; iter < opt.MaxIter; iter++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return values[order[a]] < values[order[b]] })
+		best, worst := order[0], order[d]
+		if math.Abs(values[worst]-values[best]) < opt.AbsTol {
+			if opt.XTol <= 0 {
+				break
+			}
+			diam := 0.0
+			for i := 1; i <= d; i++ {
+				for j := 0; j < d; j++ {
+					if dd := math.Abs(simplex[i][j] - simplex[0][j]); dd > diam {
+						diam = dd
+					}
+				}
+			}
+			if diam < opt.XTol {
+				break
+			}
+		}
+		// Centroid of all but the worst.
+		centroid := make([]float64, d)
+		for _, idx := range order[:d] {
+			for j := range centroid {
+				centroid[j] += simplex[idx][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(d)
+		}
+		// Reflection.
+		refl := make([]float64, d)
+		for j := range refl {
+			refl[j] = centroid[j] + alpha*(centroid[j]-simplex[worst][j])
+		}
+		fRefl := eval(refl)
+		secondWorst := order[d-1]
+		switch {
+		case fRefl < values[best]:
+			// Expansion.
+			expd := make([]float64, d)
+			for j := range expd {
+				expd[j] = centroid[j] + gamma*(refl[j]-centroid[j])
+			}
+			if fExp := eval(expd); fExp < fRefl {
+				simplex[worst], values[worst] = expd, fExp
+			} else {
+				simplex[worst], values[worst] = refl, fRefl
+			}
+		case fRefl < values[secondWorst]:
+			simplex[worst], values[worst] = refl, fRefl
+		default:
+			// Contraction.
+			contr := make([]float64, d)
+			for j := range contr {
+				contr[j] = centroid[j] + rho*(simplex[worst][j]-centroid[j])
+			}
+			if fContr := eval(contr); fContr < values[worst] {
+				simplex[worst], values[worst] = contr, fContr
+			} else {
+				// Shrink toward the best vertex.
+				for _, idx := range order[1:] {
+					for j := range simplex[idx] {
+						simplex[idx][j] = simplex[best][j] + sigma*(simplex[idx][j]-simplex[best][j])
+					}
+					values[idx] = eval(simplex[idx])
+				}
+			}
+		}
+	}
+
+	bestIdx := 0
+	for i := 1; i <= d; i++ {
+		if values[i] < values[bestIdx] {
+			bestIdx = i
+		}
+	}
+	return NMResult{
+		X:           simplex[bestIdx],
+		F:           values[bestIdx],
+		Iterations:  iter,
+		Evaluations: evals,
+	}, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	cachemodel "progopt/internal/costmodel/cache"
+)
+
+// SortednessClass classifies how local a sampled access pattern is relative
+// to the random-access prediction of Eq. (1).
+type SortednessClass int
+
+// Sortedness classes.
+const (
+	// CoClustered means sampled misses are far below the random prediction:
+	// the access pattern is (nearly) sequential (§5.5's break-even side where
+	// join-first wins).
+	CoClustered SortednessClass = iota
+	// PartiallyClustered means misses are noticeably but not dramatically
+	// below prediction.
+	PartiallyClustered
+	// RandomAccess means the sample matches the random model.
+	RandomAccess
+)
+
+// String names the class.
+func (s SortednessClass) String() string {
+	switch s {
+	case CoClustered:
+		return "co-clustered"
+	case PartiallyClustered:
+		return "partially-clustered"
+	case RandomAccess:
+		return "random"
+	}
+	return fmt.Sprintf("sortedness(%d)", int(s))
+}
+
+// SortednessReport is the outcome of a sortedness probe.
+type SortednessReport struct {
+	// SampledMisses is the observed miss count.
+	SampledMisses float64
+	// PredictedRandom is Eq. (1)'s expectation for a random pattern.
+	PredictedRandom float64
+	// Ratio is sampled/predicted (0 when prediction is 0).
+	Ratio float64
+	// Class is the derived classification.
+	Class SortednessClass
+}
+
+// coClusterRatio and partialRatio are the classification thresholds.
+const (
+	coClusterRatio = 0.25
+	partialRatio   = 0.75
+)
+
+// DetectSortedness compares sampled cache misses against the random-access
+// prediction of Eq. (1) for r probes into a relation of relTuples rows of
+// the given width. The paper's §5.5/§5.6 insight is that this comparison —
+// impossible with tuple counters alone — reveals sortedness/co-clustering
+// and thereby the right operator order.
+func DetectSortedness(g cachemodel.Geometry, relTuples, width, probes int, sampledMisses float64) SortednessReport {
+	pred := g.RandomMisses(relTuples, width, probes)
+	rep := SortednessReport{SampledMisses: sampledMisses, PredictedRandom: pred}
+	if pred > 0 {
+		rep.Ratio = sampledMisses / pred
+	}
+	switch {
+	case rep.Ratio < coClusterRatio:
+		rep.Class = CoClustered
+	case rep.Ratio < partialRatio:
+		rep.Class = PartiallyClustered
+	default:
+		rep.Class = RandomAccess
+	}
+	return rep
+}

@@ -1,0 +1,181 @@
+package core
+
+import "fmt"
+
+// StartPointGen produces the start-point sequence of §4.3 for the non-linear
+// optimization over a d-dimensional box: the null-hypothesis point first
+// (overall selectivity split evenly over the predicates — C1 in the paper's
+// Figure 9), then the 2^d vertices of the box, then, indefinitely, the
+// centroid of the largest sub-space induced by splitting at every point
+// emitted so far (C2..C6 in Figure 9).
+//
+// For d > maxSplitDims the 2^d box bookkeeping is replaced by a
+// deterministic low-discrepancy (Halton) sequence over the box, which keeps
+// the "explore the largest unseen region" intent without exponential state.
+type StartPointGen struct {
+	lo, hi    []float64
+	null      []float64
+	d         int
+	stage     int // 0: null, 1: vertices, 2: centroids
+	vertexIdx int
+	boxes     []spBox
+	halton    int
+}
+
+type spBox struct {
+	lo, hi []float64
+	vol    float64
+}
+
+// maxSplitDims bounds the dimensionality of the exact splitting scheme.
+const maxSplitDims = 6
+
+// NewStartPointGen builds a generator over the box [lo, hi] with the given
+// null-hypothesis point (clamped into the box).
+func NewStartPointGen(lo, hi, null []float64) (*StartPointGen, error) {
+	d := len(lo)
+	if d == 0 || len(hi) != d || len(null) != d {
+		return nil, fmt.Errorf("core: start points need consistent dimensions (lo %d, hi %d, null %d)",
+			len(lo), len(hi), len(null))
+	}
+	for i := range lo {
+		if hi[i] < lo[i] {
+			return nil, fmt.Errorf("core: dimension %d has empty range [%v,%v]", i, lo[i], hi[i])
+		}
+	}
+	n := append([]float64(nil), null...)
+	for i := range n {
+		if n[i] < lo[i] {
+			n[i] = lo[i]
+		}
+		if n[i] > hi[i] {
+			n[i] = hi[i]
+		}
+	}
+	g := &StartPointGen{
+		lo:   append([]float64(nil), lo...),
+		hi:   append([]float64(nil), hi...),
+		null: n,
+		d:    d,
+	}
+	if d <= maxSplitDims {
+		g.boxes = []spBox{makeBox(g.lo, g.hi)}
+	}
+	return g, nil
+}
+
+func makeBox(lo, hi []float64) spBox {
+	vol := 1.0
+	for i := range lo {
+		vol *= hi[i] - lo[i]
+	}
+	return spBox{lo: append([]float64(nil), lo...), hi: append([]float64(nil), hi...), vol: vol}
+}
+
+// Next returns the next start point. The sequence is infinite.
+func (g *StartPointGen) Next() []float64 {
+	switch {
+	case g.stage == 0:
+		g.stage = 1
+		g.split(g.null)
+		return append([]float64(nil), g.null...)
+	case g.stage == 1:
+		v := make([]float64, g.d)
+		for i := 0; i < g.d; i++ {
+			if g.vertexIdx&(1<<i) != 0 {
+				v[i] = g.hi[i]
+			} else {
+				v[i] = g.lo[i]
+			}
+		}
+		g.vertexIdx++
+		if g.vertexIdx >= 1<<g.d || g.vertexIdx >= 64 {
+			g.stage = 2
+		}
+		return v
+	default:
+		return g.centroidPoint()
+	}
+}
+
+// split replaces the box containing pt with the 2^d sub-boxes induced by
+// splitting at pt (no-op in Halton mode or when pt lies on a box face).
+func (g *StartPointGen) split(pt []float64) {
+	if g.boxes == nil {
+		return
+	}
+	idx := -1
+	for i, b := range g.boxes {
+		inside := true
+		for j := range pt {
+			if pt[j] <= b.lo[j] || pt[j] >= b.hi[j] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	parent := g.boxes[idx]
+	g.boxes = append(g.boxes[:idx], g.boxes[idx+1:]...)
+	for mask := 0; mask < 1<<g.d; mask++ {
+		lo := make([]float64, g.d)
+		hi := make([]float64, g.d)
+		for j := 0; j < g.d; j++ {
+			if mask&(1<<j) != 0 {
+				lo[j], hi[j] = pt[j], parent.hi[j]
+			} else {
+				lo[j], hi[j] = parent.lo[j], pt[j]
+			}
+		}
+		b := makeBox(lo, hi)
+		if b.vol > 0 {
+			g.boxes = append(g.boxes, b)
+		}
+	}
+}
+
+func (g *StartPointGen) centroidPoint() []float64 {
+	if g.boxes == nil {
+		return g.haltonPoint()
+	}
+	best := -1
+	for i, b := range g.boxes {
+		if best < 0 || b.vol > g.boxes[best].vol {
+			best = i
+		}
+	}
+	if best < 0 {
+		return g.haltonPoint()
+	}
+	b := g.boxes[best]
+	c := make([]float64, g.d)
+	for j := range c {
+		c[j] = (b.lo[j] + b.hi[j]) / 2
+	}
+	g.split(c)
+	return c
+}
+
+// primes for the Halton fallback.
+var haltonPrimes = []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+func (g *StartPointGen) haltonPoint() []float64 {
+	g.halton++
+	p := make([]float64, g.d)
+	for j := 0; j < g.d; j++ {
+		base := haltonPrimes[j%len(haltonPrimes)]
+		f, r := 1.0, 0.0
+		for i := g.halton; i > 0; i /= base {
+			f /= float64(base)
+			r += f * float64(i%base)
+		}
+		p[j] = g.lo[j] + r*(g.hi[j]-g.lo[j])
+	}
+	return p
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStartPointGenValidation(t *testing.T) {
+	if _, err := NewStartPointGen(nil, nil, nil); err == nil {
+		t.Error("empty dimensions accepted")
+	}
+	if _, err := NewStartPointGen([]float64{0}, []float64{1, 2}, []float64{0.5}); err == nil {
+		t.Error("mismatched dimensions accepted")
+	}
+	if _, err := NewStartPointGen([]float64{1}, []float64{0}, []float64{0.5}); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestStartPointSequencePaperFigure9(t *testing.T) {
+	// 2-D unit box, null point at the centre of a 25%-selectivity query.
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	null := []float64{0.5, 0.5}
+	g, err := NewStartPointGen(lo, hi, null)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C1 = null hypothesis.
+	first := g.Next()
+	if first[0] != 0.5 || first[1] != 0.5 {
+		t.Fatalf("first point %v, want null (0.5,0.5)", first)
+	}
+	// Next 4 = vertices.
+	vertices := map[[2]float64]bool{}
+	for i := 0; i < 4; i++ {
+		p := g.Next()
+		vertices[[2]float64{p[0], p[1]}] = true
+	}
+	for _, want := range [][2]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		if !vertices[want] {
+			t.Errorf("vertex %v missing from %v", want, vertices)
+		}
+	}
+	// Then centroids of the four equal quadrants (C2..C5), in any order.
+	quads := map[[2]float64]bool{}
+	for i := 0; i < 4; i++ {
+		p := g.Next()
+		quads[[2]float64{p[0], p[1]}] = true
+	}
+	for _, want := range [][2]float64{{0.25, 0.25}, {0.75, 0.25}, {0.25, 0.75}, {0.75, 0.75}} {
+		if !quads[want] {
+			t.Errorf("quadrant centroid %v missing from %v", want, quads)
+		}
+	}
+}
+
+func TestStartPointsStayInBox(t *testing.T) {
+	lo := []float64{0.1, 0.2, 0.0}
+	hi := []float64{0.9, 0.6, 1.0}
+	g, err := NewStartPointGen(lo, hi, []float64{0.5, 0.4, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := g.Next()
+		for j := range p {
+			if p[j] < lo[j]-1e-12 || p[j] > hi[j]+1e-12 {
+				t.Fatalf("point %d dim %d = %v outside [%v,%v]", i, j, p[j], lo[j], hi[j])
+			}
+		}
+	}
+}
+
+func TestStartPointsNullClamped(t *testing.T) {
+	g, err := NewStartPointGen([]float64{0.2}, []float64{0.8}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.Next(); p[0] != 0.8 {
+		t.Errorf("null point %v, want clamped 0.8", p[0])
+	}
+}
+
+func TestStartPointsSpreadOut(t *testing.T) {
+	// The interior points (excluding vertices) must not collapse: minimum
+	// pairwise distance over the first 20 interior points stays positive.
+	g, err := NewStartPointGen([]float64{0, 0}, []float64{1, 1}, []float64{0.3, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts [][]float64
+	for i := 0; i < 25; i++ {
+		p := g.Next()
+		interior := true
+		for j := range p {
+			if p[j] == 0 || p[j] == 1 {
+				interior = false
+			}
+		}
+		if interior {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) < 10 {
+		t.Fatalf("only %d interior points of 25", len(pts))
+	}
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			d := math.Hypot(pts[i][0]-pts[j][0], pts[i][1]-pts[j][1])
+			if d < 1e-9 {
+				t.Fatalf("points %d and %d coincide at %v", i, j, pts[i])
+			}
+		}
+	}
+}
+
+func TestStartPointsHighDimensionFallback(t *testing.T) {
+	// 8 dimensions exceeds maxSplitDims: the Halton fallback must still
+	// produce in-box, distinct points.
+	d := 8
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	null := make([]float64, d)
+	for i := range hi {
+		hi[i] = 1
+		null[i] = 0.5
+	}
+	g, err := NewStartPointGen(lo, hi, null)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 80; i++ {
+		p := g.Next()
+		key := ""
+		for j := range p {
+			if p[j] < 0 || p[j] > 1 {
+				t.Fatalf("point outside box: %v", p)
+			}
+			key += string(rune('a' + int(p[j]*25)))
+		}
+		_ = seen[key]
+		seen[key] = true
+	}
+	if len(seen) < 40 {
+		t.Errorf("high-dimensional fallback produced only %d distinct coarse cells", len(seen))
+	}
+}

@@ -1,0 +1,182 @@
+// Package cache implements the paper's cache cost model (§3.1): the Pirk et
+// al. access patterns (single sequential, sequential with conditional read)
+// extended to double-count random misses, the Manegold-style generic
+// traversal primitives, and the alternative equi-join random-miss model the
+// paper grounds in the external memory model (Eq. 1 and 2).
+package cache
+
+import (
+	"fmt"
+	"math"
+)
+
+// Geometry carries the cache parameters the model needs.
+type Geometry struct {
+	// LineSize is the cache-line size in bytes (the paper's B_i).
+	LineSize int
+	// CapacityLines is the capacity of the modelled level in lines (#_i).
+	CapacityLines int
+}
+
+func (g Geometry) validate() error {
+	if g.LineSize <= 0 {
+		return fmt.Errorf("cachemodel: non-positive line size %d", g.LineSize)
+	}
+	if g.CapacityLines < 0 {
+		return fmt.Errorf("cachemodel: negative capacity %d", g.CapacityLines)
+	}
+	return nil
+}
+
+// Lines returns the number of cache lines covering n values of the given
+// width in a contiguous column.
+func (g Geometry) Lines(n int, width int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Ceil(float64(n) * float64(width) / float64(g.LineSize))
+}
+
+// SeqAccesses models the single sequential traversal pattern of the first
+// predicate's column: one random access for the first line, one sequential
+// access per subsequent line — n*w/B line accesses in total.
+func (g Geometry) SeqAccesses(n int, width int) float64 {
+	return g.Lines(n, width)
+}
+
+// CondRead is the result of the sequential-scan-with-conditional-read
+// pattern.
+type CondRead struct {
+	// Touched is the expected number of distinct lines demanded.
+	Touched float64
+	// Random is the expected number of random accesses: a demanded line whose
+	// predecessor line was skipped.
+	Random float64
+	// Accesses is the modelled line-access count with the paper's
+	// modification: random accesses are double counted, because the line the
+	// prefetcher predicted goes unused while the demanded line costs a fresh
+	// access.
+	Accesses float64
+}
+
+// CondReadAccesses models a column read only for tuples that qualified all
+// previous predicates, each independently with probability access (the
+// selectivity product of the preceding predicates).
+func (g Geometry) CondReadAccesses(n int, width int, access float64) CondRead {
+	if access <= 0 || n <= 0 {
+		return CondRead{}
+	}
+	if access > 1 {
+		access = 1
+	}
+	lines := g.Lines(n, width)
+	vpl := float64(g.LineSize) / float64(width)
+	if vpl < 1 {
+		vpl = 1
+	}
+	// Probability at least one of the ~vpl tuples on a line is accessed.
+	pTouch := 1 - math.Pow(1-access, vpl)
+	touched := lines * pTouch
+	// A touched line is a random access when the preceding line was skipped.
+	random := lines * pTouch * (1 - pTouch)
+	return CondRead{
+		Touched:  touched,
+		Random:   random,
+		Accesses: touched + random,
+	}
+}
+
+// Yao returns the expected number of distinct lines of a relation touched by
+// r uniformly random accesses — the paper's Eq. (2), evaluated over lines:
+//
+//	C_i = L * (1 - (1 - 1/L)^r)  with L = lines covering the relation.
+func (g Geometry) Yao(relTuples, width, r int) float64 {
+	lines := g.Lines(relTuples, width)
+	if lines == 0 || r <= 0 {
+		return 0
+	}
+	return lines * (1 - math.Pow(1-1/lines, float64(r)))
+}
+
+// RandomMisses is the paper's Eq. (1): the expected number of cache misses
+// caused by r uniformly random accesses to a relation of relTuples tuples of
+// the given width.
+//
+//	M_r = C_i                          if C_i < #_i   (fits: only cold misses)
+//	M_r = r * (1 - #_i*B_i/(R.n*R.w))  otherwise      (hit probability is the
+//	                                                   cached fraction)
+func (g Geometry) RandomMisses(relTuples, width, r int) float64 {
+	ci := g.Yao(relTuples, width, r)
+	cap := float64(g.CapacityLines)
+	if ci < cap {
+		return ci
+	}
+	relBytes := float64(relTuples) * float64(width)
+	if relBytes <= 0 {
+		return 0
+	}
+	frac := 1 - cap*float64(g.LineSize)/relBytes
+	if frac < 0 {
+		frac = 0
+	}
+	return float64(r) * frac
+}
+
+// SeqMisses is the original Manegold sequential-traversal miss count: every
+// covering line misses once (no reuse).
+func (g Geometry) SeqMisses(relTuples, width int) float64 {
+	return g.Lines(relTuples, width)
+}
+
+// JoinAccessKind distinguishes the two probe-side access patterns Eq. (1)
+// separates with a multiplicative factor.
+type JoinAccessKind int
+
+// Probe-side access patterns for JoinMisses.
+const (
+	// JoinRandom means probe keys address the build side uniformly at random
+	// (e.g. lineitem→part).
+	JoinRandom JoinAccessKind = iota
+	// JoinCoClustered means probe keys are (nearly) sorted so build-side
+	// accesses are sequential (e.g. lineitem→orders on a bulk-loaded table).
+	JoinCoClustered
+)
+
+// JoinMisses predicts the build-side miss count for an equi-join probing r
+// times into a relation of relTuples tuples of the given width: the paper's
+// §5.6 rule combines Eq. (1) for random probes with the sequential model for
+// co-clustered probes.
+func (g Geometry) JoinMisses(kind JoinAccessKind, relTuples, width, r int) float64 {
+	switch kind {
+	case JoinRandom:
+		return g.RandomMisses(relTuples, width, r)
+	case JoinCoClustered:
+		// Sequential over the touched prefix: at most one miss per line, and
+		// no more lines than probes.
+		lines := g.SeqMisses(relTuples, width)
+		if float64(r) < lines {
+			return float64(r)
+		}
+		return lines
+	default:
+		panic(fmt.Sprintf("cachemodel: unknown join access kind %d", int(kind)))
+	}
+}
+
+// NewGeometry validates and returns a Geometry.
+func NewGeometry(lineSize, capacityLines int) (Geometry, error) {
+	g := Geometry{LineSize: lineSize, CapacityLines: capacityLines}
+	if err := g.validate(); err != nil {
+		return Geometry{}, err
+	}
+	return g, nil
+}
+
+// MustGeometry is NewGeometry that panics on invalid input.
+func MustGeometry(lineSize, capacityLines int) Geometry {
+	g, err := NewGeometry(lineSize, capacityLines)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

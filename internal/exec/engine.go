@@ -1,0 +1,239 @@
+package exec
+
+import (
+	"fmt"
+
+	"progopt/internal/columnar"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/hw/pmu"
+)
+
+// Aggregate computes a running float64 sum over qualifying tuples.
+type Aggregate struct {
+	// Cols are the input columns; the engine loads each per qualifying tuple.
+	Cols []*columnar.Column
+	// F computes the tuple's contribution to the sum.
+	F func(row int) float64
+	// CostInstr is the per-tuple arithmetic cost (default 3 if zero).
+	CostInstr int
+}
+
+func (a *Aggregate) cost() int {
+	if a.CostInstr > 0 {
+		return a.CostInstr
+	}
+	return 3
+}
+
+// Query is a driving-table pipeline: an ordered list of filtering operators
+// (predicates and FK joins) over one table, optionally aggregating the
+// survivors. Ops order is the PEO the optimizer permutes.
+type Query struct {
+	// Table is the driving (probe-side) table.
+	Table *columnar.Table
+	// Ops is the evaluation order.
+	Ops []Op
+	// Agg, if non-nil, sums over qualifying tuples.
+	Agg *Aggregate
+}
+
+// Validate checks that the query is runnable.
+func (q *Query) Validate() error {
+	if q.Table == nil {
+		return fmt.Errorf("exec: query has no table")
+	}
+	if len(q.Ops) == 0 {
+		return fmt.Errorf("exec: query has no operators")
+	}
+	for i, op := range q.Ops {
+		if op == nil {
+			return fmt.Errorf("exec: nil operator at position %d", i)
+		}
+	}
+	return nil
+}
+
+// WithOrder returns a copy of the query whose operators are permuted: new
+// position i holds old operator perm[i].
+func (q *Query) WithOrder(perm []int) (*Query, error) {
+	if len(perm) != len(q.Ops) {
+		return nil, fmt.Errorf("exec: permutation length %d for %d ops", len(perm), len(q.Ops))
+	}
+	seen := make([]bool, len(perm))
+	ops := make([]Op, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(q.Ops) || seen[p] {
+			return nil, fmt.Errorf("exec: invalid permutation %v", perm)
+		}
+		seen[p] = true
+		ops[i] = q.Ops[p]
+	}
+	return &Query{Table: q.Table, Ops: ops, Agg: q.Agg}, nil
+}
+
+// OpNames returns the operator names in evaluation order.
+func (q *Query) OpNames() []string {
+	names := make([]string, len(q.Ops))
+	for i, op := range q.Ops {
+		names[i] = op.Name()
+	}
+	return names
+}
+
+// VectorResult reports one vector's execution.
+type VectorResult struct {
+	// Qualifying is the number of tuples that passed all operators.
+	Qualifying int64
+	// Sum is the aggregate contribution of the vector.
+	Sum float64
+}
+
+// Result reports a full query execution.
+type Result struct {
+	// Qualifying is the output cardinality.
+	Qualifying int64
+	// Sum is the aggregate value.
+	Sum float64
+	// Cycles is the simulated cycle count consumed by the run.
+	Cycles uint64
+	// Millis is Cycles at the profile's clock.
+	Millis float64
+	// Counters is the PMU delta over the run.
+	Counters pmu.Sample
+	// Vectors is the number of vectors executed.
+	Vectors int
+}
+
+// Engine executes queries vector-at-a-time on a simulated CPU.
+type Engine struct {
+	cpu        *cpu.CPU
+	vectorSize int
+}
+
+// NewEngine returns an engine with the given vector size (tuples per vector).
+func NewEngine(c *cpu.CPU, vectorSize int) (*Engine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("exec: nil CPU")
+	}
+	if vectorSize <= 0 {
+		return nil, fmt.Errorf("exec: non-positive vector size %d", vectorSize)
+	}
+	return &Engine{cpu: c, vectorSize: vectorSize}, nil
+}
+
+// MustEngine is NewEngine that panics on error.
+func MustEngine(c *cpu.CPU, vectorSize int) *Engine {
+	e, err := NewEngine(c, vectorSize)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// CPU exposes the engine's simulated core.
+func (e *Engine) CPU() *cpu.CPU { return e.cpu }
+
+// VectorSize returns tuples per vector.
+func (e *Engine) VectorSize() int { return e.vectorSize }
+
+// NumVectors returns how many vectors cover the query's table.
+func (e *Engine) NumVectors(q *Query) int {
+	n := q.Table.NumRows()
+	return (n + e.vectorSize - 1) / e.vectorSize
+}
+
+// loopOverheadInstr is the per-tuple loop bookkeeping cost (increment,
+// bounds arithmetic).
+const loopOverheadInstr = 2
+
+// RunVector executes rows [lo, hi) of the query in its current operator
+// order. Branch sites are operator positions; site len(Ops) is the loop-back
+// branch.
+func (e *Engine) RunVector(q *Query, lo, hi int) (VectorResult, error) {
+	if err := q.Validate(); err != nil {
+		return VectorResult{}, err
+	}
+	n := q.Table.NumRows()
+	if lo < 0 || hi > n || lo > hi {
+		return VectorResult{}, fmt.Errorf("exec: vector [%d,%d) outside table of %d rows", lo, hi, n)
+	}
+	c := e.cpu
+	ops := q.Ops
+	loopSite := len(ops)
+	var res VectorResult
+	for row := lo; row < hi; row++ {
+		pass := true
+		for si := 0; si < len(ops); si++ {
+			ok := ops[si].Eval(c, row)
+			c.CondBranch(si, !ok)
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			if q.Agg != nil {
+				for _, col := range q.Agg.Cols {
+					c.Load(col.Addr(row))
+				}
+				c.Exec(q.Agg.cost())
+				res.Sum += q.Agg.F(row)
+			}
+			res.Qualifying++
+		}
+		c.Exec(loopOverheadInstr)
+		c.CondBranch(loopSite, true)
+	}
+	return res, nil
+}
+
+// Run executes the whole table vector by vector under a fixed operator order
+// (the paper's "common execution pattern" baseline) and returns totals.
+func (e *Engine) Run(q *Query) (Result, error) {
+	if err := q.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := e.cpu.Sample()
+	startCycles := e.cpu.Cycles()
+	var out Result
+	n := q.Table.NumRows()
+	for lo := 0; lo < n; lo += e.vectorSize {
+		hi := lo + e.vectorSize
+		if hi > n {
+			hi = n
+		}
+		vr, err := e.RunVector(q, lo, hi)
+		if err != nil {
+			return Result{}, err
+		}
+		out.Qualifying += vr.Qualifying
+		out.Sum += vr.Sum
+		out.Vectors++
+	}
+	out.Cycles = e.cpu.Cycles() - startCycles
+	out.Millis = e.cpu.MillisOf(out.Cycles)
+	out.Counters = e.cpu.Sample().Sub(start)
+	return out, nil
+}
+
+// BindQuery binds the query's table columns and any join hash regions that
+// are still unbound into the CPU's address space, and flushes caches so runs
+// start cold (the paper's scans never reuse data between runs anyway).
+func (e *Engine) BindQuery(q *Query) error {
+	if q.Table.NumCols() > 0 && q.Table.Columns()[0].Base() == 0 {
+		if err := q.Table.BindAll(e.cpu); err != nil {
+			return err
+		}
+	}
+	for _, op := range q.Ops {
+		if j, ok := op.(*FKJoin); ok && j.Filter != nil && j.Filter.Col.Base() == 0 {
+			base, err := e.cpu.Alloc(j.Filter.Col.SizeBytes())
+			if err != nil {
+				return err
+			}
+			j.Filter.Col.Bind(base)
+		}
+	}
+	e.cpu.FlushCaches()
+	return nil
+}

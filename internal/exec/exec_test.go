@@ -1,0 +1,312 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"progopt/internal/columnar"
+	"progopt/internal/datagen"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/hw/pmu"
+)
+
+// testTable builds a small table with two int64 columns of controllable
+// selectivity under "< threshold" predicates (values uniform in [0,100)).
+func testTable(t *testing.T, n int) *columnar.Table {
+	t.Helper()
+	rng := datagen.NewRNG(42)
+	tb := columnar.NewTable("t")
+	tb.MustAddColumn(columnar.NewInt64("a", datagen.UniformInt64(rng, n, 0, 99)))
+	tb.MustAddColumn(columnar.NewInt64("b", datagen.UniformInt64(rng, n, 0, 99)))
+	tb.MustAddColumn(columnar.NewFloat64("v", datagen.UniformFloat64(rng, n, 0, 1)))
+	return tb
+}
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	return MustEngine(cpu.MustNew(cpu.ScaledXeon()), 1024)
+}
+
+func buildQuery(t *testing.T, tb *columnar.Table, e *Engine, aBound, bBound int64) *Query {
+	t.Helper()
+	q := &Query{
+		Table: tb,
+		Ops: []Op{
+			&Predicate{Col: tb.Column("a"), Op: LT, I: aBound},
+			&Predicate{Col: tb.Column("b"), Op: LT, I: bBound},
+		},
+		Agg: &Aggregate{
+			Cols: []*columnar.Column{tb.Column("v")},
+			F:    func(row int) float64 { return tb.Column("v").F64()[row] },
+		},
+	}
+	if err := e.BindQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// groundTruth evaluates the query directly.
+func groundTruth(tb *columnar.Table, aBound, bBound int64) (int64, float64) {
+	a, b, v := tb.Column("a").I64(), tb.Column("b").I64(), tb.Column("v").F64()
+	var count int64
+	var sum float64
+	for i := range a {
+		if a[i] < aBound && b[i] < bBound {
+			count++
+			sum += v[i]
+		}
+	}
+	return count, sum
+}
+
+func TestRunCorrectness(t *testing.T) {
+	tb := testTable(t, 10000)
+	e := newEngine(t)
+	q := buildQuery(t, tb, e, 30, 70)
+	res, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, wantSum := groundTruth(tb, 30, 70)
+	if res.Qualifying != wantCount {
+		t.Errorf("qualifying = %d, want %d", res.Qualifying, wantCount)
+	}
+	if math.Abs(res.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", res.Sum, wantSum)
+	}
+	if res.Vectors != 10 {
+		t.Errorf("vectors = %d, want 10", res.Vectors)
+	}
+	if res.Cycles == 0 || res.Millis <= 0 {
+		t.Error("no cycle accounting")
+	}
+}
+
+func TestRunOrderIndependentResult(t *testing.T) {
+	tb := testTable(t, 8000)
+	e := newEngine(t)
+	q := buildQuery(t, tb, e, 25, 60)
+	r1, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := q.WithOrder([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Qualifying != r2.Qualifying || math.Abs(r1.Sum-r2.Sum) > 1e-9 {
+		t.Error("query result depends on PEO")
+	}
+}
+
+func TestBranchCounterIdentities(t *testing.T) {
+	tb := testTable(t, 10000)
+	e := newEngine(t)
+	q := buildQuery(t, tb, e, 30, 70)
+	res, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(tb.NumRows())
+	// §2.2.1: qualifying = 2n - branches taken.
+	bt := int64(res.Counters.Get(pmu.BrTaken))
+	if got := 2*n - bt; got != res.Qualifying {
+		t.Errorf("2n - BT = %d, want qualifying %d", got, res.Qualifying)
+	}
+	// BNT = passes of op0 + passes of op1 = (#a<30) + qualifying.
+	a := tb.Column("a").I64()
+	var passA int64
+	for _, v := range a {
+		if v < 30 {
+			passA++
+		}
+	}
+	if got := int64(res.Counters.Get(pmu.BrNotTaken)); got != passA+res.Qualifying {
+		t.Errorf("BNT = %d, want %d", got, passA+res.Qualifying)
+	}
+	// Conditional branches: evaluations + loop. Evaluations = n + passA.
+	if got := int64(res.Counters.Get(pmu.BrCond)); got != n+passA+n {
+		t.Errorf("BrCond = %d, want %d", got, 2*n+passA)
+	}
+}
+
+func TestSelectiveFirstIsFaster(t *testing.T) {
+	tb := testTable(t, 50000)
+	run := func(order []int) uint64 {
+		e := newEngine(t)
+		q := buildQuery(t, tb, e, 5, 95) // a: 5%, b: 95%
+		// Unbind columns between engines is unnecessary; BindQuery rebinds
+		// only when base is zero, and addresses are engine-local anyway.
+		qo, err := q.WithOrder(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(qo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	fast := run([]int{0, 1}) // selective predicate (5%) first
+	slow := run([]int{1, 0}) // non-selective (95%) first
+	if fast >= slow {
+		t.Errorf("selective-first %d cycles not below non-selective-first %d", fast, slow)
+	}
+}
+
+func TestWithOrderValidation(t *testing.T) {
+	tb := testTable(t, 100)
+	e := newEngine(t)
+	q := buildQuery(t, tb, e, 50, 50)
+	if _, err := q.WithOrder([]int{0}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := q.WithOrder([]int{0, 0}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if _, err := q.WithOrder([]int{0, 5}); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+func TestRunVectorBounds(t *testing.T) {
+	tb := testTable(t, 100)
+	e := newEngine(t)
+	q := buildQuery(t, tb, e, 50, 50)
+	if _, err := e.RunVector(q, -1, 50); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := e.RunVector(q, 0, 101); err == nil {
+		t.Error("hi beyond table accepted")
+	}
+	if _, err := e.RunVector(q, 60, 50); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	if err := (&Query{}).Validate(); err == nil {
+		t.Error("empty query validated")
+	}
+	tb := testTable(t, 10)
+	if err := (&Query{Table: tb}).Validate(); err == nil {
+		t.Error("op-less query validated")
+	}
+	if err := (&Query{Table: tb, Ops: []Op{nil}}).Validate(); err == nil {
+		t.Error("nil op validated")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, 10); err == nil {
+		t.Error("nil CPU accepted")
+	}
+	if _, err := NewEngine(cpu.MustNew(cpu.ScaledXeon()), 0); err == nil {
+		t.Error("zero vector size accepted")
+	}
+}
+
+func TestPredicateTrueSelectivity(t *testing.T) {
+	tb := testTable(t, 20000)
+	p := &Predicate{Col: tb.Column("a"), Op: LT, I: 25}
+	got := p.TrueSelectivity()
+	if math.Abs(got-0.25) > 0.02 {
+		t.Errorf("selectivity %v, want ~0.25", got)
+	}
+	pf := &Predicate{Col: tb.Column("v"), Op: LE, F: 0.5}
+	if got := pf.TrueSelectivity(); math.Abs(got-0.5) > 0.02 {
+		t.Errorf("float selectivity %v, want ~0.5", got)
+	}
+	empty := &Predicate{Col: columnar.NewInt64("e", nil), Op: LT, I: 5}
+	if empty.TrueSelectivity() != 0 {
+		t.Error("empty column selectivity must be 0")
+	}
+}
+
+func TestCmpOpSemantics(t *testing.T) {
+	col := columnar.NewInt64("x", []int64{5})
+	col.Bind(0x1000)
+	c := cpu.MustNew(cpu.ScaledXeon())
+	cases := []struct {
+		op   CmpOp
+		i    int64
+		want bool
+	}{
+		{LE, 5, true}, {LE, 4, false},
+		{LT, 6, true}, {LT, 5, false},
+		{GE, 5, true}, {GE, 6, false},
+		{GT, 4, true}, {GT, 5, false},
+		{EQ, 5, true}, {EQ, 4, false},
+	}
+	for _, cse := range cases {
+		p := &Predicate{Col: col, Op: cse.op, I: cse.i}
+		if got := p.Eval(c, 0); got != cse.want {
+			t.Errorf("5 %s %d = %v, want %v", cse.op, cse.i, got, cse.want)
+		}
+	}
+}
+
+func TestExpensivePredicateCostsMore(t *testing.T) {
+	tb := testTable(t, 20000)
+	run := func(extra int) uint64 {
+		e := newEngine(t)
+		q := &Query{
+			Table: tb,
+			Ops:   []Op{&Predicate{Col: tb.Column("a"), Op: LT, I: 50, ExtraCostInstr: extra}},
+		}
+		if err := e.BindQuery(q); err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if cheap, exp := run(0), run(50); exp <= cheap {
+		t.Errorf("expensive predicate (%d cycles) not slower than cheap (%d)", exp, cheap)
+	}
+}
+
+func TestPermutations(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		perms := Permutations(n)
+		want := 1
+		for i := 2; i <= n; i++ {
+			want *= i
+		}
+		if len(perms) != want {
+			t.Errorf("Permutations(%d) = %d entries, want %d", n, len(perms), want)
+		}
+		seen := map[string]bool{}
+		for _, p := range perms {
+			key := ""
+			check := make([]bool, n)
+			for _, v := range p {
+				if v < 0 || v >= n || check[v] {
+					t.Fatalf("invalid permutation %v", p)
+				}
+				check[v] = true
+				key += string(rune('0' + v))
+			}
+			if seen[key] {
+				t.Fatalf("duplicate permutation %v", p)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestPermutationsPanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Permutations(9) did not panic")
+		}
+	}()
+	Permutations(9)
+}

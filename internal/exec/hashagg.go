@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"progopt/internal/columnar"
+)
+
+// GroupBy is a hash-based grouping aggregate over the qualifying tuples of a
+// query: SELECT group, SUM(value), COUNT(*) ... GROUP BY group. It extends
+// the engine beyond pure selections — the paper's future work (§7) names
+// integrating further relational operators — and exercises the cache
+// substrate with the random-write pattern of hash-table maintenance, which
+// the Manegold cost model's r_trav pattern predicts.
+type GroupBy struct {
+	// GroupCol is the grouping key column (integer-kind).
+	GroupCol *columnar.Column
+	// ValueCol is the summed column.
+	ValueCol *columnar.Column
+
+	tableBase uint64
+	mask      uint64
+}
+
+// groupSlotBytes models one hash-table slot (key, sum, count).
+const groupSlotBytes = 24
+
+// NewGroupBy builds the aggregate and reserves its hash-table region sized
+// for the expected number of distinct groups.
+func NewGroupBy(alloc columnar.Allocator, group, value *columnar.Column, expectedGroups int) (*GroupBy, error) {
+	if group == nil || value == nil {
+		return nil, fmt.Errorf("exec: group-by needs group and value columns")
+	}
+	switch group.Kind() {
+	case columnar.Int64, columnar.Int32, columnar.Date:
+	default:
+		return nil, fmt.Errorf("exec: group column %q must be integer-kind, is %v", group.Name(), group.Kind())
+	}
+	if expectedGroups <= 0 {
+		return nil, fmt.Errorf("exec: non-positive expected group count %d", expectedGroups)
+	}
+	buckets := uint64(1)
+	for buckets < 2*uint64(expectedGroups) {
+		buckets <<= 1
+	}
+	base, err := alloc.Alloc(int(buckets) * groupSlotBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupBy{GroupCol: group, ValueCol: value, tableBase: base, mask: buckets - 1}, nil
+}
+
+// Group is one output row of a GroupBy.
+type Group struct {
+	// Key is the group key.
+	Key int64
+	// Sum is the aggregated value.
+	Sum float64
+	// Count is the number of contributing tuples.
+	Count int64
+}
+
+// GroupResult is the grouped output plus execution metrics.
+type GroupResult struct {
+	// Groups are the output rows, sorted by key.
+	Groups []Group
+	// Result carries cardinality/cycles/counters of the run.
+	Result
+}
+
+// RunGroupBy executes the query's filters and aggregates survivors into g's
+// hash table. The query's own Agg is ignored; g defines the aggregation.
+func (e *Engine) RunGroupBy(q *Query, g *GroupBy) (GroupResult, error) {
+	if err := q.Validate(); err != nil {
+		return GroupResult{}, err
+	}
+	if g == nil {
+		return GroupResult{}, fmt.Errorf("exec: nil GroupBy")
+	}
+	c := e.cpu
+	start := c.Sample()
+	startCycles := c.Cycles()
+
+	acc := make(map[int64]*Group)
+	n := q.Table.NumRows()
+	ops := q.Ops
+	loopSite := len(ops)
+	var out GroupResult
+	for row := 0; row < n; row++ {
+		pass := true
+		for si := 0; si < len(ops); si++ {
+			ok := ops[si].Eval(c, row)
+			c.CondBranch(si, !ok)
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			c.Load(g.GroupCol.Addr(row))
+			c.Load(g.ValueCol.Addr(row))
+			key := g.GroupCol.Int64At(row)
+			// Hash-table slot access: read-modify-write of (key, sum, count).
+			bucket := (uint64(key) * 2654435761) & g.mask
+			c.Load(g.tableBase + bucket*groupSlotBytes)
+			c.Exec(6) // hash, compare key, add, increment
+			gr, ok := acc[key]
+			if !ok {
+				gr = &Group{Key: key}
+				acc[key] = gr
+			}
+			gr.Sum += g.ValueCol.Float64At(row)
+			gr.Count++
+			out.Qualifying++
+		}
+		c.Exec(loopOverheadInstr)
+		c.CondBranch(loopSite, true)
+	}
+
+	out.Groups = make([]Group, 0, len(acc))
+	for _, gr := range acc {
+		out.Groups = append(out.Groups, *gr)
+	}
+	sort.Slice(out.Groups, func(a, b int) bool { return out.Groups[a].Key < out.Groups[b].Key })
+	out.Vectors = (n + e.vectorSize - 1) / e.vectorSize
+	out.Cycles = c.Cycles() - startCycles
+	out.Millis = c.MillisOf(out.Cycles)
+	out.Counters = c.Sample().Sub(start)
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"progopt/internal/exec"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/tpch"
+)
+
+// Fig01 reproduces Figure 1: the cost ratio between the worst and the best
+// of the 24 PEOs of the modified Q6, as the shipdate predicate's selectivity
+// sweeps from 1e-4 % to 100 %.
+func Fig01(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	rows := cfg.Lineitems
+	if max := 100 * cfg.VectorSize; rows > max {
+		rows = max // the ratio is scale-free; keep the sweep fast
+	}
+	d, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// Randomly ordered data keeps per-run selectivity stationary, matching
+	// the paper's single-number-per-selectivity presentation.
+	d = d.ReorderLineitem(tpch.OrderingRandom, cfg.Seed+1)
+
+	sels := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0}
+	if cfg.Quick {
+		sels = []float64{1e-4, 1e-2, 0.5}
+	}
+	r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+	if err != nil {
+		return nil, err
+	}
+	perms := exec.Permutations(4)
+
+	rep := &Report{
+		ID:      "fig01",
+		Title:   "Best v. Worst plan cost for TPC-H Query 6 (modified, 4 predicates)",
+		Columns: []string{"shipdate_sel_pct", "worst_best_ratio", "best_ms", "worst_ms", "best_peo", "worst_peo"},
+		Notes: []string{
+			fmt.Sprintf("%d lineitems, all 24 PEOs per selectivity, simulated cycles at 2.6 GHz", rows),
+		},
+	}
+	for _, sel := range sels {
+		cutoff := d.ShipdateCutoff(sel)
+		q, err := exec.Q6Shipdate(d, cutoff)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.bind(q); err != nil {
+			return nil, err
+		}
+		best, worst := math.Inf(1), 0.0
+		var bestPerm, worstPerm []int
+		for _, perm := range perms {
+			res, err := r.measureBaseline(q, perm)
+			if err != nil {
+				return nil, err
+			}
+			ms := res.Millis
+			if ms < best {
+				best, bestPerm = ms, perm
+			}
+			if ms > worst {
+				worst, worstPerm = ms, perm
+			}
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmtF(sel * 100),
+			fmt.Sprintf("%.2f", worst/best),
+			fmtMs(best), fmtMs(worst),
+			fmtPerm(bestPerm), fmtPerm(worstPerm),
+		})
+	}
+	return []*Report{rep}, nil
+}

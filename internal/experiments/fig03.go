@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"progopt/internal/costmodel/markov"
+	"progopt/internal/hw/branch"
+)
+
+// Fig03 reproduces Figure 3: Markov chains with 2..8 states (including the
+// +1T/+1NT biased odd counts) against a sampled run of the Ivy Bridge
+// predictor model, for taken, not-taken, and total mispredictions as a
+// percentage of all branches.
+func Fig03(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	n := 200000
+	step := 5
+	if cfg.Quick {
+		n = 20000
+		step = 20
+	}
+	variants := markov.Variants()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cols := []string{"sel_pct"}
+	for _, v := range variants {
+		cols = append(cols, v.Label)
+	}
+	cols = append(cols, "Ivy Sample")
+
+	mk := func(sub, what string) *Report {
+		return &Report{
+			ID:      "fig03" + sub,
+			Title:   fmt.Sprintf("Markov model bits: %s misprediction (%% of all branches)", what),
+			Columns: cols,
+			Notes:   []string{fmt.Sprintf("Ivy sample: %d i.i.d. branches through the simulated Ivy Bridge predictor", n)},
+		}
+	}
+	repT, repNT, repAll := mk("a", "taken"), mk("b", "not taken"), mk("c", "all")
+
+	for s := 0; s <= 100; s += step {
+		p := float64(s) / 100
+		rowT := []string{fmtF(float64(s))}
+		rowNT := []string{fmtF(float64(s))}
+		rowAll := []string{fmtF(float64(s))}
+		for _, v := range variants {
+			r := v.Chain.Predict(p)
+			rowT = append(rowT, fmt.Sprintf("%.2f", r.MPTaken*100))
+			rowNT = append(rowNT, fmt.Sprintf("%.2f", r.MPNotTaken*100))
+			rowAll = append(rowAll, fmt.Sprintf("%.2f", r.MP()*100))
+		}
+		// Sampled Ivy Bridge predictor on an i.i.d. stream.
+		pred, err := branch.ForArch(branch.ArchIvyBridge)
+		if err != nil {
+			return nil, err
+		}
+		mpT, mpNT := 0, 0
+		for i := 0; i < n; i++ {
+			taken := rng.Float64() >= p
+			out := pred.Observe(0, taken)
+			if out.Mispredicted() {
+				if taken {
+					mpT++
+				} else {
+					mpNT++
+				}
+			}
+		}
+		rowT = append(rowT, fmt.Sprintf("%.2f", float64(mpT)/float64(n)*100))
+		rowNT = append(rowNT, fmt.Sprintf("%.2f", float64(mpNT)/float64(n)*100))
+		rowAll = append(rowAll, fmt.Sprintf("%.2f", float64(mpT+mpNT)/float64(n)*100))
+		repT.Rows = append(repT.Rows, rowT)
+		repNT.Rows = append(repNT.Rows, rowNT)
+		repAll.Rows = append(repAll.Rows, rowAll)
+	}
+	return []*Report{repT, repNT, repAll}, nil
+}

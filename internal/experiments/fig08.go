@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	cachemodel "progopt/internal/costmodel/cache"
+	"progopt/internal/costmodel/markov"
+	"progopt/internal/costmodel/peo"
+)
+
+// Fig08 reproduces Figure 8: the cost models' predictions of the four
+// exploited counters over the (sel1, sel2) grid of a two-predicate
+// selection on 10M tuples. These are the surfaces the learning algorithm
+// inverts; two queries are distinguishable whenever they differ in at least
+// one surface.
+func Fig08(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	const n = 10_000_000 // the paper's 10M-tuple presentation; pure model, no simulation cost
+	step := 0.1
+	if cfg.Quick {
+		step = 0.25
+	}
+	params := peo.Params{
+		N:        n,
+		Widths:   []int{8, 8},
+		Geometry: cachemodel.MustGeometry(64, 16384),
+		Chain:    markov.Paper(),
+	}
+	var axis []float64
+	for s := 0.0; s <= 1.0+1e-9; s += step {
+		axis = append(axis, s)
+	}
+	cols := []string{"sel1\\sel2"}
+	for _, s := range axis {
+		cols = append(cols, fmtF(s))
+	}
+	mk := func(sub, what string) *Report {
+		return &Report{
+			ID:      "fig08" + sub,
+			Title:   fmt.Sprintf("Prediction: %s (two predicates, 10M tuples)", what),
+			Columns: cols,
+		}
+	}
+	repBNT := mk("a", "branches not taken")
+	repMPNT := mk("b", "mispredicted branches not taken")
+	repMPT := mk("c", "mispredicted branches taken")
+	repL3 := mk("d", "L3 accesses")
+
+	for _, s1 := range axis {
+		rBNT := []string{fmtF(s1)}
+		rMPNT := []string{fmtF(s1)}
+		rMPT := []string{fmtF(s1)}
+		rL3 := []string{fmtF(s1)}
+		for _, s2 := range axis {
+			est, err := peo.Counters(params, []float64{s1, s2})
+			if err != nil {
+				return nil, err
+			}
+			rBNT = append(rBNT, fmt.Sprintf("%.3g", est.BNT))
+			rMPNT = append(rMPNT, fmt.Sprintf("%.3g", est.MPNotTaken))
+			rMPT = append(rMPT, fmt.Sprintf("%.3g", est.MPTaken))
+			rL3 = append(rL3, fmt.Sprintf("%.3g", est.L3))
+		}
+		repBNT.Rows = append(repBNT.Rows, rBNT)
+		repMPNT.Rows = append(repMPNT.Rows, rMPNT)
+		repMPT.Rows = append(repMPT.Rows, rMPT)
+		repL3.Rows = append(repL3.Rows, rL3)
+	}
+	return []*Report{repBNT, repMPNT, repMPT, repL3}, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"progopt/internal/exec"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/tpch"
+)
+
+// Fig12 reproduces Figure 12: runtime of the modified Q6 over the shipdate
+// selectivity sweep — minimum, maximum, and average over the PEOs for the
+// baseline, and the PEO-averaged runtime under progressive optimization at
+// re-optimization intervals 10, 75, and 200 vectors.
+func Fig12(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	// 300 vectors keeps the 24-PEO x 4-mode x selectivity sweep tractable
+	// while still giving ReopInt 200 one optimization point.
+	rows := 300 * cfg.VectorSize
+	if cfg.Quick {
+		rows = 30 * cfg.VectorSize
+	}
+	d, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	d = d.ReorderLineitem(tpch.OrderingRandom, cfg.Seed+1)
+
+	sels := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0}
+	reops := []int{10, 75, 200}
+	permSample := cfg.PermSample
+	if permSample == 0 {
+		permSample = 8 // 24 PEOs x 4 modes x 8 selectivities is the budget ceiling
+	}
+	if cfg.Quick {
+		sels = []float64{1e-4, 1e-2, 0.5}
+		reops = []int{10}
+	}
+	perms := samplePerms(exec.Permutations(4), permSample)
+
+	r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+	if err != nil {
+		return nil, err
+	}
+
+	cols := []string{"shipdate_sel_pct", "min_base_ms", "max_base_ms", "avg_base_ms"}
+	for _, ri := range reops {
+		cols = append(cols, fmt.Sprintf("avg_reopint_%d_ms", ri))
+	}
+	rep := &Report{
+		ID:      "fig12",
+		Title:   "Q6 with varying shipdate selectivity",
+		Columns: cols,
+		Notes: []string{
+			fmt.Sprintf("%d lineitems (randomly ordered), %d of 24 PEOs averaged", rows, len(perms)),
+		},
+	}
+
+	for _, sel := range sels {
+		cutoff := d.ShipdateCutoff(sel)
+		q, err := exec.Q6Shipdate(d, cutoff)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.bind(q); err != nil {
+			return nil, err
+		}
+		minB, maxB, sumB := math.Inf(1), 0.0, 0.0
+		progSums := make([]float64, len(reops))
+		for _, perm := range perms {
+			base, err := r.measureBaseline(q, perm)
+			if err != nil {
+				return nil, err
+			}
+			ms := base.Millis
+			minB = math.Min(minB, ms)
+			maxB = math.Max(maxB, ms)
+			sumB += ms
+			for ri, reop := range reops {
+				prog, _, err := r.measureProgressive(q, perm, reop)
+				if err != nil {
+					return nil, err
+				}
+				progSums[ri] += prog.Millis
+			}
+		}
+		np := float64(len(perms))
+		row := []string{fmtF(sel * 100), fmtMs(minB), fmtMs(maxB), fmtMs(sumB / np)}
+		for ri := range reops {
+			row = append(row, fmtMs(progSums[ri]/np))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return []*Report{rep}, nil
+}

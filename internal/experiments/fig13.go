@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"progopt/internal/exec"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/tpch"
+)
+
+// Fig13 reproduces Figure 13: Q6 over the PEOs on three value distributions
+// of the lineitem table — sorted by shipdate (13a), clustered within months
+// (13b), and fully random (13c) — under the baseline and progressive
+// optimization with re-optimization intervals 10, 75, and 200.
+func Fig13(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	rows := 300 * cfg.VectorSize
+	if cfg.Quick {
+		rows = 30 * cfg.VectorSize
+	}
+	base, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	orderings := []tpch.Ordering{tpch.OrderingShipdateSorted, tpch.OrderingClusteredMonth, tpch.OrderingRandom}
+	reops := []int{10, 75, 200}
+	permSample := cfg.PermSample
+	if permSample == 0 {
+		permSample = 12
+	}
+	if cfg.Quick {
+		reops = []int{10}
+	}
+	perms := samplePerms(exec.Permutations(5), permSample)
+
+	var reports []*Report
+	for oi, ord := range orderings {
+		d := base.ReorderLineitem(ord, cfg.Seed+int64(oi)+1)
+		q, err := exec.Q6(d)
+		if err != nil {
+			return nil, err
+		}
+		r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.bind(q); err != nil {
+			return nil, err
+		}
+		cols := []string{"rank", "peo", "base_ms"}
+		for _, ri := range reops {
+			cols = append(cols, fmt.Sprintf("reopint_%d_ms", ri))
+		}
+		rep := &Report{
+			ID:      fmt.Sprintf("fig13%c", 'a'+oi),
+			Title:   fmt.Sprintf("Q6 on %s data set", ord),
+			Columns: cols,
+			Notes: []string{
+				fmt.Sprintf("%d lineitems, %d of 120 PEOs, sorted by baseline runtime", rows, len(perms)),
+			},
+		}
+		type entry struct {
+			perm []int
+			base float64
+			prog []float64
+		}
+		var entries []entry
+		for _, perm := range perms {
+			b, err := r.measureBaseline(q, perm)
+			if err != nil {
+				return nil, err
+			}
+			e := entry{perm: perm, base: b.Millis}
+			for _, reop := range reops {
+				p, _, err := r.measureProgressive(q, perm, reop)
+				if err != nil {
+					return nil, err
+				}
+				e.prog = append(e.prog, p.Millis)
+			}
+			entries = append(entries, e)
+		}
+		for i := 1; i < len(entries); i++ {
+			for j := i; j > 0 && entries[j].base < entries[j-1].base; j-- {
+				entries[j], entries[j-1] = entries[j-1], entries[j]
+			}
+		}
+		for i, e := range entries {
+			row := []string{fmt.Sprintf("%d", i+1), fmtPerm(e.perm), fmtMs(e.base)}
+			for _, p := range e.prog {
+				row = append(row, fmtMs(p))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

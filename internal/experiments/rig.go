@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"progopt/internal/core"
+	"progopt/internal/exec"
+	"progopt/internal/hw/cpu"
+)
+
+// rig bundles one simulated CPU and engine for a sequence of measurements
+// over the same bound data set. Between measurements the caches are flushed
+// and the predictor reset, so every run starts cold, like the paper's
+// separately executed queries.
+type rig struct {
+	cpu *cpu.CPU
+	eng *exec.Engine
+}
+
+func newRig(prof cpu.Profile, vectorSize int) (*rig, error) {
+	c, err := cpu.New(prof)
+	if err != nil {
+		return nil, err
+	}
+	e, err := exec.NewEngine(c, vectorSize)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{cpu: c, eng: e}, nil
+}
+
+func (r *rig) bind(q *exec.Query) error {
+	return r.eng.BindQuery(q)
+}
+
+// cold resets transient hardware state (not counters) before a measurement.
+func (r *rig) cold() {
+	r.cpu.FlushCaches()
+	r.cpu.ResetPredictor()
+}
+
+// measureBaseline runs q under the given operator permutation with the
+// common (fixed-order) execution pattern and returns the result.
+func (r *rig) measureBaseline(q *exec.Query, perm []int) (exec.Result, error) {
+	qo, err := q.WithOrder(perm)
+	if err != nil {
+		return exec.Result{}, err
+	}
+	r.cold()
+	return r.eng.Run(qo)
+}
+
+// measureProgressive runs q under the given initial permutation with
+// progressive optimization at the given re-optimization interval.
+func (r *rig) measureProgressive(q *exec.Query, perm []int, reopInt int) (exec.Result, core.Stats, error) {
+	qo, err := q.WithOrder(perm)
+	if err != nil {
+		return exec.Result{}, core.Stats{}, err
+	}
+	r.cold()
+	return core.RunProgressive(r.eng, qo, core.Options{ReopInterval: reopInt})
+}
+
+// millis converts simulated cycles to msec on the rig's clock.
+func (r *rig) millis(cycles uint64) float64 { return r.cpu.MillisOf(cycles) }
+
+func fmtMs(ms float64) string { return fmt.Sprintf("%.2f", ms) }

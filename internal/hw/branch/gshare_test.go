@@ -1,0 +1,147 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewGshareValidation(t *testing.T) {
+	cases := []struct {
+		table, hist int
+		ok          bool
+	}{
+		{12, 8, true},
+		{2, 1, true},
+		{24, 16, true},
+		{1, 1, false},   // table too small
+		{25, 8, false},  // table too large
+		{12, 0, false},  // no history
+		{12, 17, false}, // history too long
+		{4, 8, false},   // history longer than table index
+	}
+	for _, c := range cases {
+		_, err := NewGshare(c.table, c.hist)
+		if c.ok != (err == nil) {
+			t.Errorf("NewGshare(%d,%d): ok=%v, err=%v", c.table, c.hist, c.ok, err)
+		}
+	}
+}
+
+func TestGshareLearnsConstantStream(t *testing.T) {
+	for _, taken := range []bool{true, false} {
+		g := MustGshare(12, 8)
+		for i := 0; i < 64; i++ {
+			g.Observe(0, taken)
+		}
+		for i := 0; i < 100; i++ {
+			if g.Observe(0, taken).Mispredicted() {
+				t.Fatalf("gshare mispredicted constant stream (taken=%v) at %d", taken, i)
+			}
+		}
+	}
+}
+
+// TestGshareLearnsPeriodicPattern: the defining capability gshare has over a
+// per-site saturating counter — a short repeating pattern becomes perfectly
+// predictable once each history context's counter saturates.
+func TestGshareLearnsPeriodicPattern(t *testing.T) {
+	g := MustGshare(12, 8)
+	pattern := []bool{true, true, false, true, false, false, true, false}
+	// Warm up several full periods.
+	for i := 0; i < 64*len(pattern); i++ {
+		g.Observe(0, pattern[i%len(pattern)])
+	}
+	mp := 0
+	for i := 0; i < 10*len(pattern); i++ {
+		if g.Observe(0, pattern[i%len(pattern)]).Mispredicted() {
+			mp++
+		}
+	}
+	if mp != 0 {
+		t.Errorf("gshare mispredicted trained periodic pattern %d times", mp)
+	}
+
+	sat := MustSaturating(6, BiasNone)
+	for i := 0; i < 64*len(pattern); i++ {
+		sat.Observe(0, pattern[i%len(pattern)])
+	}
+	satMP := 0
+	for i := 0; i < 10*len(pattern); i++ {
+		if sat.Observe(0, pattern[i%len(pattern)]).Mispredicted() {
+			satMP++
+		}
+	}
+	if satMP == 0 {
+		t.Error("saturating counter unexpectedly predicted the mixed periodic pattern perfectly")
+	}
+}
+
+func TestGshareReset(t *testing.T) {
+	g := MustGshare(12, 8)
+	for i := 0; i < 100; i++ {
+		g.Observe(0, false)
+	}
+	g.Reset()
+	if out := g.Observe(0, true); !out.PredictedTaken {
+		t.Error("fresh gshare should start weakly taken")
+	}
+}
+
+func TestGshareDeviatesFromSaturatingMidRange(t *testing.T) {
+	// On an i.i.d. 50% stream both predictors hover near 50% MP; the point of
+	// this test is that they do NOT produce identical counts, i.e. the
+	// Nehalem profile is a genuinely different mechanism.
+	rng := rand.New(rand.NewSource(7))
+	stream := make([]bool, 50000)
+	for i := range stream {
+		stream[i] = rng.Intn(100) >= 35
+	}
+	g := MustGshare(12, 8)
+	s := MustSaturating(6, BiasNone)
+	gm, sm := 0, 0
+	for _, tk := range stream {
+		if g.Observe(0, tk).Mispredicted() {
+			gm++
+		}
+		if s.Observe(0, tk).Mispredicted() {
+			sm++
+		}
+	}
+	if gm == sm {
+		t.Errorf("gshare and saturating produced identical misprediction counts (%d); profiles are not distinct", gm)
+	}
+}
+
+func TestForArch(t *testing.T) {
+	for _, a := range Arches() {
+		p, err := ForArch(a)
+		if err != nil {
+			t.Fatalf("ForArch(%v): %v", a, err)
+		}
+		if p.Name() == "" {
+			t.Errorf("ForArch(%v): empty name", a)
+		}
+	}
+	if _, err := ForArch("z80"); err == nil {
+		t.Error("ForArch(z80): expected error")
+	}
+	// Spot-check the mechanisms behind the profiles.
+	if p, _ := ForArch(ArchIvyBridge); p.(*Saturating).States() != 6 {
+		t.Error("Ivy Bridge must be a 6-state saturating counter")
+	}
+	if p, _ := ForArch(ArchAMD); p.(*Saturating).States() != 4 {
+		t.Error("AMD must be a 4-state saturating counter")
+	}
+	if _, ok := mustForArch(t, ArchNehalem).(*Gshare); !ok {
+		t.Error("Nehalem must be a gshare predictor")
+	}
+}
+
+func mustForArch(t *testing.T, a Arch) Predictor {
+	t.Helper()
+	p, err := ForArch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

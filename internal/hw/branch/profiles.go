@@ -1,0 +1,44 @@
+package branch
+
+import "fmt"
+
+// Arch names a modelled microarchitecture, matching the CPUs of the paper's
+// Figures 3 and 6.
+type Arch string
+
+// Modelled microarchitectures.
+const (
+	// ArchNehalem is modelled by a gshare predictor; the paper observes it is
+	// the only tested Intel part that deviates from the saturating model.
+	ArchNehalem Arch = "nehalem"
+	// ArchSandyBridge is modelled by a six-state saturating counter.
+	ArchSandyBridge Arch = "sandy-bridge"
+	// ArchIvyBridge is modelled by a six-state saturating counter; the paper's
+	// evaluation machine (Xeon E5-2630 v2) is an Ivy Bridge EP.
+	ArchIvyBridge Arch = "ivy-bridge"
+	// ArchBroadwell is modelled by a six-state saturating counter.
+	ArchBroadwell Arch = "broadwell"
+	// ArchAMD is modelled by a four-state (classic two-bit) saturating
+	// counter, the paper's best fit for AMD parts.
+	ArchAMD Arch = "amd"
+)
+
+// ForArch returns the predictor modelling the given microarchitecture.
+func ForArch(a Arch) (Predictor, error) {
+	switch a {
+	case ArchNehalem:
+		return NewGshare(12, 8)
+	case ArchSandyBridge, ArchIvyBridge, ArchBroadwell:
+		return NewSaturating(6, BiasNone)
+	case ArchAMD:
+		return NewSaturating(4, BiasNone)
+	default:
+		return nil, fmt.Errorf("branch: unknown architecture %q", a)
+	}
+}
+
+// Arches lists all modelled microarchitectures in the order the paper's
+// Figure 6 presents them.
+func Arches() []Arch {
+	return []Arch{ArchNehalem, ArchSandyBridge, ArchIvyBridge, ArchBroadwell, ArchAMD}
+}

@@ -1,0 +1,132 @@
+package branch
+
+import "fmt"
+
+// Saturating is an n-state saturating-counter predictor with one counter per
+// branch site. States 0..TakenStates-1 (counted from the "taken" end) predict
+// taken; the remaining states predict not taken. A taken branch moves the
+// counter one state toward the taken end, a not-taken branch one state toward
+// the not-taken end; both ends saturate.
+//
+// This is exactly the process whose stationary behaviour the paper models
+// with a Markov chain (§3.2, Figure 5): the chain's transition probability is
+// the branch's taken probability, and the paper's six-state chain corresponds
+// to Saturating{States: 6, TakenStates: 3}.
+type Saturating struct {
+	states      int
+	takenStates int
+	initState   int8
+	counters    []int8
+	name        string
+}
+
+// Bias selects how an odd state count splits between taken- and
+// not-taken-predicting states, mirroring the paper's "+1T" and "+1NT" chain
+// variants in Figure 3.
+type Bias int
+
+const (
+	// BiasNone splits states evenly; valid only for even state counts.
+	BiasNone Bias = iota
+	// BiasTaken gives the extra state of an odd count to the taken side (+1T).
+	BiasTaken
+	// BiasNotTaken gives the extra state to the not-taken side (+1NT).
+	BiasNotTaken
+)
+
+// NewSaturating returns a saturating predictor with the given total number of
+// states (2..16) and bias. Even state counts must use BiasNone; odd counts
+// must use BiasTaken or BiasNotTaken.
+func NewSaturating(states int, bias Bias) (*Saturating, error) {
+	if states < 2 || states > 16 {
+		return nil, fmt.Errorf("branch: state count %d out of range [2,16]", states)
+	}
+	var taken int
+	switch {
+	case states%2 == 0 && bias == BiasNone:
+		taken = states / 2
+	case states%2 == 1 && bias == BiasTaken:
+		taken = states/2 + 1
+	case states%2 == 1 && bias == BiasNotTaken:
+		taken = states / 2
+	default:
+		return nil, fmt.Errorf("branch: state count %d incompatible with bias %v", states, bias)
+	}
+	name := fmt.Sprintf("saturating-%d", states)
+	switch bias {
+	case BiasTaken:
+		name += "+1T"
+	case BiasNotTaken:
+		name += "+1NT"
+	}
+	s := &Saturating{
+		states:      states,
+		takenStates: taken,
+		// Start on the weakest taken state: real predictors commonly
+		// predict backward branches (loop bodies) taken on first sight.
+		initState: int8(taken - 1),
+		name:      name,
+	}
+	s.Reset()
+	return s, nil
+}
+
+// MustSaturating is NewSaturating that panics on invalid configuration; for
+// use with compile-time-constant arguments.
+func MustSaturating(states int, bias Bias) *Saturating {
+	p, err := NewSaturating(states, bias)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// States returns the total number of counter states.
+func (s *Saturating) States() int { return s.states }
+
+// TakenStates returns how many states predict taken.
+func (s *Saturating) TakenStates() int { return s.takenStates }
+
+// Observe implements Predictor. State convention: 0 is "strong taken",
+// states-1 is "strong not taken"; values below takenStates predict taken.
+func (s *Saturating) Observe(site int, taken bool) Outcome {
+	if site >= len(s.counters) {
+		s.grow(site)
+	}
+	st := s.counters[site]
+	out := Outcome{PredictedTaken: int(st) < s.takenStates, Taken: taken}
+	if taken {
+		if st > 0 {
+			st--
+		}
+	} else {
+		if int(st) < s.states-1 {
+			st++
+		}
+	}
+	s.counters[site] = st
+	return out
+}
+
+func (s *Saturating) grow(site int) {
+	n := len(s.counters) * 2
+	if n <= site {
+		n = site + 1
+	}
+	for len(s.counters) < n {
+		s.counters = append(s.counters, s.initState)
+	}
+}
+
+// Reset implements Predictor.
+func (s *Saturating) Reset() {
+	if s.counters == nil {
+		s.counters = make([]int8, 64)
+	}
+	for i := range s.counters {
+		s.counters[i] = s.initState
+	}
+}
+
+// Name implements Predictor.
+func (s *Saturating) Name() string { return s.name }

@@ -1,0 +1,207 @@
+package branch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSaturatingValidation(t *testing.T) {
+	cases := []struct {
+		states int
+		bias   Bias
+		ok     bool
+		taken  int
+	}{
+		{2, BiasNone, true, 1},
+		{4, BiasNone, true, 2},
+		{6, BiasNone, true, 3},
+		{8, BiasNone, true, 4},
+		{5, BiasTaken, true, 3},
+		{5, BiasNotTaken, true, 2},
+		{7, BiasTaken, true, 4},
+		{7, BiasNotTaken, true, 3},
+		{5, BiasNone, false, 0},  // odd count needs a bias
+		{6, BiasTaken, false, 0}, // even count must not have a bias
+		{1, BiasNone, false, 0},
+		{17, BiasTaken, false, 0},
+	}
+	for _, c := range cases {
+		p, err := NewSaturating(c.states, c.bias)
+		if c.ok && err != nil {
+			t.Errorf("NewSaturating(%d,%v): unexpected error %v", c.states, c.bias, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("NewSaturating(%d,%v): expected error", c.states, c.bias)
+			}
+			continue
+		}
+		if got := p.TakenStates(); got != c.taken {
+			t.Errorf("NewSaturating(%d,%v).TakenStates() = %d, want %d", c.states, c.bias, got, c.taken)
+		}
+	}
+}
+
+func TestSaturatingLearnsConstantStream(t *testing.T) {
+	// After warm-up, an all-taken stream must be predicted perfectly, and
+	// likewise an all-not-taken stream.
+	for _, taken := range []bool{true, false} {
+		p := MustSaturating(6, BiasNone)
+		for i := 0; i < 10; i++ {
+			p.Observe(0, taken)
+		}
+		for i := 0; i < 100; i++ {
+			if out := p.Observe(0, taken); out.Mispredicted() {
+				t.Fatalf("saturating mispredicted constant stream (taken=%v) at step %d", taken, i)
+			}
+		}
+	}
+}
+
+func TestSaturatingAlternatingStreamWorstCase(t *testing.T) {
+	// A two-state (last-direction) predictor mispredicts a strictly
+	// alternating stream on every branch after warm-up.
+	p := MustSaturating(2, BiasNone)
+	taken := true
+	p.Observe(0, taken)
+	mp := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		taken = !taken
+		if p.Observe(0, taken).Mispredicted() {
+			mp++
+		}
+	}
+	if mp != n {
+		t.Fatalf("two-state predictor on alternating stream: %d/%d mispredictions, want all", mp, n)
+	}
+}
+
+func TestSaturatingSitesAreIndependent(t *testing.T) {
+	p := MustSaturating(6, BiasNone)
+	// Train site 0 strongly not-taken, site 1 strongly taken.
+	for i := 0; i < 10; i++ {
+		p.Observe(0, false)
+		p.Observe(1, true)
+	}
+	if out := p.Observe(0, false); out.PredictedTaken {
+		t.Error("site 0 should predict not-taken after not-taken training")
+	}
+	if out := p.Observe(1, true); !out.PredictedTaken {
+		t.Error("site 1 should predict taken after taken training")
+	}
+}
+
+func TestSaturatingReset(t *testing.T) {
+	p := MustSaturating(6, BiasNone)
+	for i := 0; i < 10; i++ {
+		p.Observe(0, false)
+	}
+	p.Reset()
+	// After reset the initial state is the weakest taken state.
+	if out := p.Observe(0, true); !out.PredictedTaken {
+		t.Error("fresh predictor should start predicting taken")
+	}
+}
+
+// TestSaturatingMatchesMarkovStationary checks that the long-run
+// misprediction rate of the simulated 6-state counter on an i.i.d. Bernoulli
+// stream matches the closed-form stationary distribution of the paper's
+// Markov chain (Figure 5) to within sampling error. This is the keystone
+// property: it is why the paper can invert counter values into selectivities.
+func TestSaturatingMatchesMarkovStationary(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 400000
+	for _, p := range []float64{0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95} {
+		pred := MustSaturating(6, BiasNone)
+		mp := 0
+		for i := 0; i < n; i++ {
+			taken := rng.Float64() >= p // "not taken" w.p. p, as in a selection
+			if pred.Observe(0, taken).Mispredicted() {
+				mp++
+			}
+		}
+		got := float64(mp) / n
+		want := markovMPRef(6, 3, p)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("sel=%.2f: simulated MP rate %.4f, stationary model %.4f", p, got, want)
+		}
+	}
+}
+
+// markovMPRef computes the stationary misprediction probability of an
+// n-state saturating counter where the branch is NOT taken with probability
+// p. Kept local and independent from costmodel/markov so the two
+// implementations cross-check each other.
+func markovMPRef(states, takenStates int, p float64) float64 {
+	q := 1 - p
+	pi := make([]float64, states)
+	// Detailed balance with ratio r = p/q stepping toward the not-taken end.
+	pi[0] = 1
+	sum := 1.0
+	for i := 1; i < states; i++ {
+		if q == 0 {
+			pi[i] = math.Inf(1)
+		} else {
+			pi[i] = pi[i-1] * (p / q)
+		}
+		sum += pi[i]
+	}
+	probNotTak := 0.0
+	for i := takenStates; i < states; i++ {
+		probNotTak += pi[i] / sum
+	}
+	probTak := 1 - probNotTak
+	// Mispredicted taken: outcome taken (q) while predicting not-taken.
+	// Mispredicted not-taken: outcome not-taken (p) while predicting taken.
+	return q*probNotTak + p*probTak
+}
+
+func TestSaturatingDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stream := make([]bool, 200)
+		for i := range stream {
+			stream[i] = rng.Intn(2) == 0
+		}
+		a := MustSaturating(6, BiasNone)
+		b := MustSaturating(6, BiasNone)
+		for _, tk := range stream {
+			oa := a.Observe(3, tk)
+			ob := b.Observe(3, tk)
+			if oa != ob {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSaturatingMPRateBounded: misprediction rate can never exceed 50% by
+// more than the transient on an i.i.d. stream — the predictor is at least as
+// good as random in steady state.
+func TestSaturatingMPRateBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Float64()
+		pred := MustSaturating(6, BiasNone)
+		mp := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			taken := rng.Float64() >= p
+			if pred.Observe(0, taken).Mispredicted() {
+				mp++
+			}
+		}
+		return float64(mp)/n <= 0.55
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package cache implements a software model of a multi-level CPU data-cache
+// hierarchy: set-associative LRU levels, a sequential stream prefetcher, and
+// per-level access/hit/miss accounting.
+//
+// The paper's cache cost model (§3.1) reasons about *L3 accesses*, defined as
+// demand requests that miss L2 plus prefetcher requests, because that event
+// count is independent of out-of-order execution. The hierarchy here produces
+// exactly that counter from the address stream of the simulated query, which
+// is what the progressive optimizer samples at vector boundaries.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name is a short label such as "L1" (for reports and errors).
+	Name string
+	// SizeBytes is the total capacity of the level.
+	SizeBytes int
+	// LineSize is the cache-line size in bytes; it must be a power of two and
+	// identical across all levels of a hierarchy.
+	LineSize int
+	// Ways is the set associativity; it must divide SizeBytes/LineSize.
+	Ways int
+	// LatencyCycles is the load-to-use latency of a hit in this level.
+	LatencyCycles int
+}
+
+// Lines returns the capacity of the level in cache lines (the paper's "#_i").
+func (c Config) Lines() int { return c.SizeBytes / c.LineSize }
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive size %d", c.Name, c.SizeBytes)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d is not a positive power of two", c.Name, c.LineSize)
+	}
+	lines := c.SizeBytes / c.LineSize
+	if lines*c.LineSize != c.SizeBytes || lines == 0 {
+		return fmt.Errorf("cache %s: size %d is not a positive multiple of line size %d", c.Name, c.SizeBytes, c.LineSize)
+	}
+	if c.Ways <= 0 || lines%c.Ways != 0 {
+		return fmt.Errorf("cache %s: %d ways does not divide %d lines", c.Name, c.Ways, lines)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d is not a power of two", c.Name, sets)
+	}
+	if c.LatencyCycles < 0 {
+		return fmt.Errorf("cache %s: negative latency", c.Name)
+	}
+	return nil
+}
+
+// Stats accumulates the per-level event counts the PMU exposes.
+type Stats struct {
+	// Accesses counts lookups (demand only; prefetch inserts are separate).
+	Accesses uint64
+	// Hits counts lookups that found the line.
+	Hits uint64
+	// Misses counts lookups that did not find the line.
+	Misses uint64
+	// PrefetchInserts counts lines installed by the prefetcher.
+	PrefetchInserts uint64
+}
+
+// Level is one set-associative LRU cache level.
+type Level struct {
+	cfg      Config
+	setMask  uint64
+	setShift uint
+	ways     int
+	tags     []uint64 // sets*ways entries; tag 0 means empty (addresses are offset to avoid tag 0)
+	stamps   []uint64 // LRU timestamps parallel to tags
+	clock    uint64
+	stats    Stats
+}
+
+// NewLevel builds a cache level from its configuration.
+func NewLevel(cfg Config) (*Level, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.Lines()
+	sets := lines / cfg.Ways
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	return &Level{
+		cfg:      cfg,
+		setMask:  uint64(sets - 1),
+		setShift: shift,
+		ways:     cfg.Ways,
+		tags:     make([]uint64, lines),
+		stamps:   make([]uint64, lines),
+	}, nil
+}
+
+// Config returns the level's configuration.
+func (l *Level) Config() Config { return l.cfg }
+
+// Stats returns a copy of the level's counters.
+func (l *Level) Stats() Stats { return l.stats }
+
+// line converts a byte address to a line id offset by 1 so that 0 stays an
+// "empty slot" sentinel in the tag arrays.
+func (l *Level) line(addr uint64) uint64 { return (addr >> l.setShift) + 1 }
+
+// Lookup probes the level for the line containing addr, updating LRU state
+// and counters. It reports whether the line was present and does NOT insert
+// on a miss; the hierarchy decides fills.
+func (l *Level) Lookup(addr uint64) bool {
+	ln := l.line(addr)
+	set := int(ln & l.setMask)
+	base := set * l.ways
+	l.clock++
+	l.stats.Accesses++
+	for w := 0; w < l.ways; w++ {
+		if l.tags[base+w] == ln {
+			l.stamps[base+w] = l.clock
+			l.stats.Hits++
+			return true
+		}
+	}
+	l.stats.Misses++
+	return false
+}
+
+// Contains reports whether the line holding addr is present, without touching
+// counters or LRU state (used by the prefetcher to avoid duplicate inserts).
+func (l *Level) Contains(addr uint64) bool {
+	ln := l.line(addr)
+	base := int(ln&l.setMask) * l.ways
+	for w := 0; w < l.ways; w++ {
+		if l.tags[base+w] == ln {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert installs the line containing addr, evicting the LRU way of its set
+// if needed. prefetch marks the insert as prefetcher-initiated for counting.
+func (l *Level) Insert(addr uint64, prefetch bool) {
+	ln := l.line(addr)
+	base := int(ln&l.setMask) * l.ways
+	l.clock++
+	victim := base
+	oldest := l.stamps[base]
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if l.tags[i] == ln { // already present; refresh
+			l.stamps[i] = l.clock
+			return
+		}
+		if l.tags[i] == 0 { // empty slot
+			victim, oldest = i, 0
+			break
+		}
+		if l.stamps[i] < oldest {
+			victim, oldest = i, l.stamps[i]
+		}
+	}
+	_ = oldest
+	l.tags[victim] = ln
+	l.stamps[victim] = l.clock
+	if prefetch {
+		l.stats.PrefetchInserts++
+	}
+}
+
+// Flush empties the level and leaves counters intact.
+func (l *Level) Flush() {
+	for i := range l.tags {
+		l.tags[i] = 0
+		l.stamps[i] = 0
+	}
+}
+
+// ResetStats zeroes the level's counters.
+func (l *Level) ResetStats() { l.stats = Stats{} }

@@ -1,0 +1,211 @@
+package cache
+
+import "fmt"
+
+// HierarchyConfig describes a three-level data-cache hierarchy plus memory.
+type HierarchyConfig struct {
+	// L1, L2, L3 are the per-level geometries; all must share one LineSize
+	// and each level must be at least as large as the one above it.
+	L1, L2, L3 Config
+	// MemLatencyCycles is the load-to-use latency of a main-memory access.
+	MemLatencyCycles int
+	// PrefetchDisabled turns the L2 streamer off (used by ablation benches;
+	// the paper's cost model explicitly includes prefetch traffic).
+	PrefetchDisabled bool
+}
+
+func (c HierarchyConfig) validate() error {
+	for _, lv := range []Config{c.L1, c.L2, c.L3} {
+		if err := lv.validate(); err != nil {
+			return err
+		}
+	}
+	if c.L1.LineSize != c.L2.LineSize || c.L2.LineSize != c.L3.LineSize {
+		return fmt.Errorf("cache: line sizes differ across levels (%d/%d/%d)",
+			c.L1.LineSize, c.L2.LineSize, c.L3.LineSize)
+	}
+	if c.L1.SizeBytes > c.L2.SizeBytes || c.L2.SizeBytes > c.L3.SizeBytes {
+		return fmt.Errorf("cache: levels must not shrink downward (%d/%d/%d bytes)",
+			c.L1.SizeBytes, c.L2.SizeBytes, c.L3.SizeBytes)
+	}
+	if c.MemLatencyCycles <= 0 {
+		return fmt.Errorf("cache: non-positive memory latency %d", c.MemLatencyCycles)
+	}
+	return nil
+}
+
+// HitLevel identifies where a load was satisfied.
+type HitLevel int
+
+// Hit levels, ordered by distance from the core.
+const (
+	HitL1 HitLevel = iota + 1
+	HitL2
+	HitL3
+	HitMem
+)
+
+// String returns "L1", "L2", "L3", or "Mem".
+func (h HitLevel) String() string {
+	switch h {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitL3:
+		return "L3"
+	case HitMem:
+		return "Mem"
+	}
+	return fmt.Sprintf("HitLevel(%d)", int(h))
+}
+
+// AccessResult describes one completed load.
+type AccessResult struct {
+	// Level is where the line was found.
+	Level HitLevel
+	// LatencyCycles is the load-to-use latency implied by Level.
+	LatencyCycles int
+}
+
+// Counters is a snapshot of every event count the hierarchy maintains.
+type Counters struct {
+	L1, L2, L3 Stats
+	// L3PrefetchAccesses counts streamer requests presented to L3; the
+	// paper's "L3 access" PMU event is L3.Accesses + L3PrefetchAccesses.
+	L3PrefetchAccesses uint64
+	// MemAccesses counts line transfers from memory (demand and prefetch).
+	MemAccesses uint64
+}
+
+// L3TotalAccesses returns the paper's L3-access counter: demand requests that
+// missed L2 plus prefetcher requests (§2.2.2).
+func (c Counters) L3TotalAccesses() uint64 { return c.L3.Accesses + c.L3PrefetchAccesses }
+
+// Sub returns c - prev, field by field (for vector-granular deltas).
+func (c Counters) Sub(prev Counters) Counters {
+	sub := func(a, b Stats) Stats {
+		return Stats{
+			Accesses:        a.Accesses - b.Accesses,
+			Hits:            a.Hits - b.Hits,
+			Misses:          a.Misses - b.Misses,
+			PrefetchInserts: a.PrefetchInserts - b.PrefetchInserts,
+		}
+	}
+	return Counters{
+		L1:                 sub(c.L1, prev.L1),
+		L2:                 sub(c.L2, prev.L2),
+		L3:                 sub(c.L3, prev.L3),
+		L3PrefetchAccesses: c.L3PrefetchAccesses - prev.L3PrefetchAccesses,
+		MemAccesses:        c.MemAccesses - prev.MemAccesses,
+	}
+}
+
+// Hierarchy is a three-level inclusive cache hierarchy with an L2 streamer.
+type Hierarchy struct {
+	cfg                HierarchyConfig
+	l1, l2, l3         *Level
+	pf                 *StreamPrefetcher
+	lineShift          uint
+	l3PrefetchAccesses uint64
+	memAccesses        uint64
+}
+
+// NewHierarchy builds a hierarchy from its configuration.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	l1, err := NewLevel(cfg.L1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewLevel(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := NewLevel(cfg.L3)
+	if err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.L1.LineSize {
+		shift++
+	}
+	return &Hierarchy{cfg: cfg, l1: l1, l2: l2, l3: l3, pf: NewStreamPrefetcher(), lineShift: shift}, nil
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// LineSize returns the cache-line size in bytes.
+func (h *Hierarchy) LineSize() int { return h.cfg.L1.LineSize }
+
+// Load performs a demand load of the line containing addr and returns where
+// it hit. Fills are inclusive (a miss installs the line in every level above
+// the hit level). The streamer observes all demand traffic reaching L2 (that
+// is, L1 misses) and pulls upcoming lines into L2 and L3, consuming one L3
+// access slot per prefetch request — so the exposed L3-access count is the
+// paper's counter: demand L2-misses plus prefetcher requests.
+func (h *Hierarchy) Load(addr uint64) AccessResult {
+	if h.l1.Lookup(addr) {
+		return AccessResult{Level: HitL1, LatencyCycles: h.cfg.L1.LatencyCycles}
+	}
+	if !h.cfg.PrefetchDisabled {
+		line := addr >> h.lineShift
+		for _, pl := range h.pf.Observe(line) {
+			paddr := pl << h.lineShift
+			// Each prefetch request occupies an L3 access slot whether or not
+			// the line is already present somewhere.
+			h.l3PrefetchAccesses++
+			if !h.l3.Contains(paddr) {
+				h.memAccesses++
+				h.l3.Insert(paddr, true)
+			}
+			h.l2.Insert(paddr, true)
+		}
+	}
+	if h.l2.Lookup(addr) {
+		h.l1.Insert(addr, false)
+		return AccessResult{Level: HitL2, LatencyCycles: h.cfg.L2.LatencyCycles}
+	}
+	hit := h.l3.Lookup(addr)
+	if hit {
+		h.l2.Insert(addr, false)
+		h.l1.Insert(addr, false)
+		return AccessResult{Level: HitL3, LatencyCycles: h.cfg.L3.LatencyCycles}
+	}
+	h.memAccesses++
+	h.l3.Insert(addr, false)
+	h.l2.Insert(addr, false)
+	h.l1.Insert(addr, false)
+	return AccessResult{Level: HitMem, LatencyCycles: h.cfg.MemLatencyCycles}
+}
+
+// Counters returns a snapshot of all event counts.
+func (h *Hierarchy) Counters() Counters {
+	return Counters{
+		L1:                 h.l1.Stats(),
+		L2:                 h.l2.Stats(),
+		L3:                 h.l3.Stats(),
+		L3PrefetchAccesses: h.l3PrefetchAccesses,
+		MemAccesses:        h.memAccesses,
+	}
+}
+
+// Flush empties all levels and prefetcher streams; counters are preserved.
+func (h *Hierarchy) Flush() {
+	h.l1.Flush()
+	h.l2.Flush()
+	h.l3.Flush()
+	h.pf.Reset()
+}
+
+// ResetCounters zeroes all event counts; cache contents are preserved.
+func (h *Hierarchy) ResetCounters() {
+	h.l1.ResetStats()
+	h.l2.ResetStats()
+	h.l3.ResetStats()
+	h.l3PrefetchAccesses = 0
+	h.memAccesses = 0
+}

@@ -1,0 +1,195 @@
+package cpu
+
+import (
+	"fmt"
+
+	"progopt/internal/hw/branch"
+	"progopt/internal/hw/cache"
+	"progopt/internal/hw/pmu"
+)
+
+// CPU is one simulated core: predictor + cache hierarchy + PMU + cycle
+// accounting, plus a bump allocator for the synthetic physical address space
+// that columns and hash tables live in.
+type CPU struct {
+	prof Profile
+	pred branch.Predictor
+	mem  *cache.Hierarchy
+
+	// Branch event counters (cache events live in the hierarchy and are
+	// merged into samples on read).
+	brCond, brTaken, brNotTaken uint64
+	brMPTaken, brMPNotTaken     uint64
+
+	instructions uint64
+	// stallQuarters accumulates memory/branch stall time in quarter-cycles so
+	// cycle accounting stays integral at IssueWidth 4.
+	stallQuarters uint64
+
+	allocNext  uint64
+	allocCount uint64
+}
+
+// New builds a CPU from a profile.
+func New(prof Profile) (*CPU, error) {
+	if err := prof.validate(); err != nil {
+		return nil, err
+	}
+	pred, err := branch.ForArch(prof.Arch)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := cache.NewHierarchy(prof.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	return &CPU{
+		prof: prof,
+		pred: pred,
+		mem:  mem,
+		// Leave a null guard page; allocations start at 1 MB.
+		allocNext: 1 << 20,
+	}, nil
+}
+
+// MustNew is New that panics on error, for statically valid profiles.
+func MustNew(prof Profile) *CPU {
+	c, err := New(prof)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Profile returns the CPU's profile.
+func (c *CPU) Profile() Profile { return c.prof }
+
+// Hierarchy exposes the cache hierarchy (read-only use intended).
+func (c *CPU) Hierarchy() *cache.Hierarchy { return c.mem }
+
+// Alloc reserves size bytes of the synthetic address space, aligned to 4 KB
+// with a 4 KB guard gap, and returns the base address. The engine assigns one
+// allocation per column so access locality is faithful to a columnar layout.
+//
+// Bases are staggered by a few cache lines per allocation (cache coloring):
+// purely page-aligned column bases would map every column's current line
+// into the same L1 set when scanned in lockstep, a power-of-two-stride
+// pathology the scaled-down L1 (few sets) would otherwise amplify far beyond
+// what the paper's 64-set L1 exhibits.
+func (c *CPU) Alloc(size int) (uint64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("cpu: non-positive allocation size %d", size)
+	}
+	const page = 4096
+	lineSize := uint64(c.prof.Hierarchy.L1.LineSize)
+	stagger := (c.allocCount * 5 % 63) * lineSize
+	c.allocCount++
+	base := c.allocNext + stagger
+	c.allocNext += (uint64(size) + stagger + 2*page - 1) / page * page
+	return base, nil
+}
+
+// Load performs one demand load at addr: one retired instruction plus the
+// memory-stall cost of wherever the line was found.
+func (c *CPU) Load(addr uint64) cache.AccessResult {
+	c.instructions++
+	r := c.mem.Load(addr)
+	if r.Level != cache.HitL1 {
+		// L1-hit latency is hidden by the pipeline; deeper hits stall for
+		// the differential latency, divided by the memory-parallelism factor.
+		stall := (r.LatencyCycles - c.prof.Hierarchy.L1.LatencyCycles) * 4 / c.prof.MemParallelism
+		if stall > 0 {
+			c.stallQuarters += uint64(stall)
+		}
+	}
+	return r
+}
+
+// CondBranch retires one conditional branch at the given site: one compare
+// plus one jump instruction, plus the misprediction penalty when the
+// predictor got it wrong. It returns the predictor outcome.
+func (c *CPU) CondBranch(site int, taken bool) branch.Outcome {
+	c.instructions += 2 // cmp + jcc
+	c.brCond++
+	out := c.pred.Observe(site, taken)
+	if taken {
+		c.brTaken++
+		if out.Mispredicted() {
+			c.brMPTaken++
+		}
+	} else {
+		c.brNotTaken++
+		if out.Mispredicted() {
+			c.brMPNotTaken++
+		}
+	}
+	if out.Mispredicted() {
+		c.stallQuarters += uint64(c.prof.BranchMissPenaltyCycles) * 4
+	}
+	return out
+}
+
+// Exec retires n plain ALU instructions.
+func (c *CPU) Exec(n int) {
+	if n > 0 {
+		c.instructions += uint64(n)
+	}
+}
+
+// ResetPredictor clears all branch-predictor state, emulating a JIT
+// recompilation of the query loop (new branch addresses).
+func (c *CPU) ResetPredictor() { c.pred.Reset() }
+
+// FlushCaches empties the cache hierarchy (counters are preserved).
+func (c *CPU) FlushCaches() { c.mem.Flush() }
+
+// Cycles returns elapsed core cycles: retired instructions spread over the
+// issue width plus accumulated stall time.
+func (c *CPU) Cycles() uint64 {
+	issueQuarters := c.instructions * 4 / uint64(c.prof.IssueWidth)
+	return (issueQuarters + c.stallQuarters) / 4
+}
+
+// Millis converts Cycles to milliseconds at the profile's clock.
+func (c *CPU) Millis() float64 {
+	return float64(c.Cycles()) / (c.prof.ClockGHz * 1e6)
+}
+
+// MillisOf converts a cycle count to milliseconds at the profile's clock.
+func (c *CPU) MillisOf(cycles uint64) float64 {
+	return float64(cycles) / (c.prof.ClockGHz * 1e6)
+}
+
+// Sample snapshots all PMU events, including the derived fixed counters.
+func (c *CPU) Sample() pmu.Sample {
+	var s pmu.Sample
+	s[pmu.BrCond] = c.brCond
+	s[pmu.BrTaken] = c.brTaken
+	s[pmu.BrNotTaken] = c.brNotTaken
+	s[pmu.BrMPTaken] = c.brMPTaken
+	s[pmu.BrMPNotTaken] = c.brMPNotTaken
+	s[pmu.BrMP] = c.brMPTaken + c.brMPNotTaken
+	hc := c.mem.Counters()
+	s[pmu.L1Access] = hc.L1.Accesses
+	s[pmu.L1Miss] = hc.L1.Misses
+	s[pmu.L2Access] = hc.L2.Accesses
+	s[pmu.L2Miss] = hc.L2.Misses
+	s[pmu.L3DemandAccess] = hc.L3.Accesses
+	s[pmu.L3PrefetchAccess] = hc.L3PrefetchAccesses
+	s[pmu.L3Access] = hc.L3TotalAccesses()
+	s[pmu.L3Miss] = hc.L3.Misses
+	s[pmu.L3Hit] = hc.L3.Hits
+	s[pmu.MemAccess] = hc.MemAccesses
+	s[pmu.Instructions] = c.instructions
+	s[pmu.Cycles] = c.Cycles()
+	return s
+}
+
+// ResetCounters zeroes every PMU event (cache contents and predictor state
+// are preserved; real PMUs reset counters without touching the pipeline).
+func (c *CPU) ResetCounters() {
+	c.brCond, c.brTaken, c.brNotTaken = 0, 0, 0
+	c.brMPTaken, c.brMPNotTaken = 0, 0
+	c.instructions, c.stallQuarters = 0, 0
+	c.mem.ResetCounters()
+}

@@ -1,0 +1,354 @@
+// Package tpch generates TPC-H-shaped data sets from scratch: lineitem,
+// orders, and part tables with dbgen's value domains and the structural
+// properties the paper's experiments exploit — lineitem is bulk-loaded in
+// orderkey order and therefore weakly clustered on shipdate (§1), lineitem
+// and orders are co-clustered through l_orderkey (§5.6), and l_partkey is
+// uniformly random so part accesses have no locality.
+//
+// The generator targets row counts rather than TPC-H scale factors: the
+// simulated hardware profile scales caches down by the same factor as the
+// data (see DESIGN.md), so ratios match the paper's SF-100 setup.
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"progopt/internal/columnar"
+	"progopt/internal/datagen"
+)
+
+// Date domain constants (dbgen: orders span 1992-01-01 .. 1998-08-02,
+// shipdate = orderdate + up to 121 days).
+var (
+	// StartDate is the first order date, 1992-01-01, as days since epoch.
+	StartDate = DaysSinceEpoch(1992, time.January, 1)
+	// EndOrderDate is the last order date, 1998-08-02.
+	EndOrderDate = DaysSinceEpoch(1998, time.August, 2)
+	// EndShipDate is the last possible ship date.
+	EndShipDate = EndOrderDate + 121
+)
+
+// Q6 constants from the benchmark query text.
+const (
+	// Q6QuantityBound is Q6's "l_quantity < 24".
+	Q6QuantityBound = 24
+	// Q6DiscountLo is "l_discount >= 0.06 - 0.01".
+	Q6DiscountLo = 0.05
+	// Q6DiscountHi is "l_discount <= 0.06 + 0.01".
+	Q6DiscountHi = 0.07
+	// Q6ShipdateLo is "l_shipdate >= 1994-01-01" in the original query.
+	q6ShipYear = 1994
+)
+
+// Q6ShipdateLo returns the original query's lower shipdate bound.
+func Q6ShipdateLo() int32 { return DaysSinceEpoch(q6ShipYear, time.January, 1) }
+
+// Q6ShipdateHi returns the original query's exclusive upper shipdate bound
+// (one year after the lower bound).
+func Q6ShipdateHi() int32 { return DaysSinceEpoch(q6ShipYear+1, time.January, 1) }
+
+// DaysSinceEpoch converts a calendar date to days since 1970-01-01.
+func DaysSinceEpoch(year int, month time.Month, day int) int32 {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return int32(t.Unix() / 86400)
+}
+
+// MonthID returns a monotone month index (year*12+month) for a day count,
+// used to build the paper's "clustered" data set (shuffle within a month).
+func MonthID(days int32) int32 {
+	t := time.Unix(int64(days)*86400, 0).UTC()
+	return int32(t.Year())*12 + int32(t.Month()) - 1
+}
+
+// Config controls generation.
+type Config struct {
+	// Lineitems is the lineitem row count (orders ≈ Lineitems/4, parts ≈
+	// Lineitems/30, the dbgen ratios).
+	Lineitems int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Dataset bundles the three generated tables.
+type Dataset struct {
+	Lineitem *columnar.Table
+	Orders   *columnar.Table
+	Part     *columnar.Table
+	// NumOrders and NumParts are the build-side row counts.
+	NumOrders int
+	NumParts  int
+}
+
+// Generate builds a data set in natural (bulk-load) order: lineitem rows are
+// emitted grouped by ascending orderkey with order dates increasing over the
+// table, so shipdate is weakly clustered — the situation the paper's
+// introduction motivates.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Lineitems <= 0 {
+		return nil, fmt.Errorf("tpch: non-positive lineitem count %d", cfg.Lineitems)
+	}
+	rng := datagen.NewRNG(cfg.Seed)
+	n := cfg.Lineitems
+	numOrders := n/4 + 1
+	numParts := n/30 + 1
+
+	// Orders: orderkey i (0-based), orderdate increasing with jitter
+	// (bulk-loaded), totalprice uniform.
+	oDate := make([]int32, numOrders)
+	span := int64(EndOrderDate - StartDate)
+	for i := range oDate {
+		base := StartDate + int32(int64(i)*span/int64(numOrders))
+		jitter := int32(rng.Intn(15)) - 7
+		d := base + jitter
+		if d < StartDate {
+			d = StartDate
+		}
+		if d > EndOrderDate {
+			d = EndOrderDate
+		}
+		oDate[i] = d
+	}
+	oKey := datagen.Ascending(numOrders)
+	oTotal := datagen.UniformFloat64(rng, numOrders, 1000, 500000)
+
+	orders := columnar.NewTable("orders")
+	orders.MustAddColumn(columnar.NewInt64("o_orderkey", oKey))
+	orders.MustAddColumn(columnar.NewDate("o_orderdate", oDate))
+	orders.MustAddColumn(columnar.NewFloat64("o_totalprice", oTotal))
+
+	// Part: partkey ascending, size and retailprice uniform.
+	part := columnar.NewTable("part")
+	part.MustAddColumn(columnar.NewInt64("p_partkey", datagen.Ascending(numParts)))
+	part.MustAddColumn(columnar.NewInt32("p_size", datagen.UniformInt32(rng, numParts, 1, 50)))
+	part.MustAddColumn(columnar.NewFloat64("p_retailprice", datagen.UniformFloat64(rng, numParts, 900, 2100)))
+
+	// Lineitem: 1..7 rows per order until n rows are emitted.
+	lOrderkey := make([]int64, 0, n)
+	lPartkey := make([]int64, 0, n)
+	lQuantity := make([]int64, 0, n)
+	lPrice := make([]float64, 0, n)
+	lDiscount := make([]float64, 0, n)
+	lTax := make([]float64, 0, n)
+	lShipdate := make([]int32, 0, n)
+	order := 0
+	for len(lOrderkey) < n {
+		per := 1 + rng.Intn(7)
+		if order >= numOrders {
+			order = numOrders - 1
+		}
+		for k := 0; k < per && len(lOrderkey) < n; k++ {
+			lOrderkey = append(lOrderkey, int64(order))
+			lPartkey = append(lPartkey, rng.Int63n(int64(numParts)))
+			q := 1 + rng.Int63n(50)
+			lQuantity = append(lQuantity, q)
+			lPrice = append(lPrice, float64(q)*(900+rng.Float64()*1200))
+			lDiscount = append(lDiscount, float64(rng.Intn(11))/100)
+			lTax = append(lTax, float64(rng.Intn(9))/100)
+			ship := oDate[order] + 1 + int32(rng.Intn(121))
+			lShipdate = append(lShipdate, ship)
+		}
+		order++
+	}
+
+	lineitem := columnar.NewTable("lineitem")
+	lineitem.MustAddColumn(columnar.NewInt64("l_orderkey", lOrderkey))
+	lineitem.MustAddColumn(columnar.NewInt64("l_partkey", lPartkey))
+	lineitem.MustAddColumn(columnar.NewInt64("l_quantity", lQuantity))
+	lineitem.MustAddColumn(columnar.NewFloat64("l_extendedprice", lPrice))
+	lineitem.MustAddColumn(columnar.NewFloat64("l_discount", lDiscount))
+	lineitem.MustAddColumn(columnar.NewFloat64("l_tax", lTax))
+	lineitem.MustAddColumn(columnar.NewDate("l_shipdate", lShipdate))
+
+	return &Dataset{
+		Lineitem:  lineitem,
+		Orders:    orders,
+		Part:      part,
+		NumOrders: numOrders,
+		NumParts:  numParts,
+	}, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg Config) *Dataset {
+	d, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Ordering selects how lineitem rows are physically ordered, the axis of the
+// paper's Figure 13.
+type Ordering int
+
+// Lineitem orderings.
+const (
+	// OrderingNatural keeps the bulk-load order (weakly clustered shipdate,
+	// co-clustered with orders).
+	OrderingNatural Ordering = iota
+	// OrderingShipdateSorted sorts rows ascending by l_shipdate (Fig 13a).
+	OrderingShipdateSorted
+	// OrderingClusteredMonth shuffles rows within their shipdate month,
+	// keeping months in order (Fig 13b).
+	OrderingClusteredMonth
+	// OrderingRandom fully shuffles rows (Fig 13c).
+	OrderingRandom
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case OrderingNatural:
+		return "natural"
+	case OrderingShipdateSorted:
+		return "sorted"
+	case OrderingClusteredMonth:
+		return "clustered"
+	case OrderingRandom:
+		return "random"
+	}
+	return fmt.Sprintf("ordering(%d)", int(o))
+}
+
+// ReorderLineitem returns a copy of the data set with lineitem rows
+// physically reordered. Orders and part tables are shared (their order never
+// changes in the paper's experiments).
+func (d *Dataset) ReorderLineitem(o Ordering, seed int64) *Dataset {
+	rng := datagen.NewRNG(seed)
+	ship := d.Lineitem.Column("l_shipdate").I32()
+	n := len(ship)
+	var perm []int
+	switch o {
+	case OrderingNatural:
+		perm = identityPerm(n)
+	case OrderingShipdateSorted:
+		perm = identityPerm(n)
+		sort.SliceStable(perm, func(a, b int) bool { return ship[perm[a]] < ship[perm[b]] })
+	case OrderingClusteredMonth:
+		// Sort by shipdate first, then shuffle within months.
+		sorted := identityPerm(n)
+		sort.SliceStable(sorted, func(a, b int) bool { return ship[sorted[a]] < ship[sorted[b]] })
+		months := make([]int32, n)
+		for i, p := range sorted {
+			months[i] = MonthID(ship[p])
+		}
+		within := datagen.GroupPermutation(rng, months)
+		perm = make([]int, n)
+		for i := range perm {
+			perm[i] = sorted[within[i]]
+		}
+	case OrderingRandom:
+		perm = rng.Perm(n)
+	default:
+		panic(fmt.Sprintf("tpch: unknown ordering %d", int(o)))
+	}
+	return &Dataset{
+		Lineitem:  permuteTable(d.Lineitem, perm),
+		Orders:    d.Orders,
+		Part:      d.Part,
+		NumOrders: d.NumOrders,
+		NumParts:  d.NumParts,
+	}
+}
+
+// ReorderLineitemWindow returns a copy with lineitem rows produced by a
+// windowed Knuth shuffle over the shipdate-sorted order: window 1 is fully
+// sorted, window >= n fully random, and intermediate windows sweep the
+// sortedness spectrum of the paper's Figure 14.
+func (d *Dataset) ReorderLineitemWindow(window int, seed int64) *Dataset {
+	rng := datagen.NewRNG(seed)
+	ship := d.Lineitem.Column("l_shipdate").I32()
+	n := len(ship)
+	sorted := identityPerm(n)
+	sort.SliceStable(sorted, func(a, b int) bool { return ship[sorted[a]] < ship[sorted[b]] })
+	win := datagen.WindowPermutation(rng, n, window)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = sorted[win[i]]
+	}
+	return &Dataset{
+		Lineitem:  permuteTable(d.Lineitem, perm),
+		Orders:    d.Orders,
+		Part:      d.Part,
+		NumOrders: d.NumOrders,
+		NumParts:  d.NumParts,
+	}
+}
+
+// ShuffleLineitemWindow returns a copy with lineitem rows permuted by a
+// windowed Knuth shuffle over the CURRENT row order (unlike
+// ReorderLineitemWindow, which shuffles over the shipdate-sorted order).
+// Applied to a natural-order data set this degrades lineitem/orders
+// co-clustering progressively: window 1 keeps it intact, window >= n
+// destroys it — the §5.5 sortedness axis for join locality.
+func (d *Dataset) ShuffleLineitemWindow(window int, seed int64) *Dataset {
+	rng := datagen.NewRNG(seed)
+	n := d.Lineitem.NumRows()
+	perm := datagen.WindowPermutation(rng, n, window)
+	return &Dataset{
+		Lineitem:  permuteTable(d.Lineitem, perm),
+		Orders:    d.Orders,
+		Part:      d.Part,
+		NumOrders: d.NumOrders,
+		NumParts:  d.NumParts,
+	}
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func permuteTable(t *columnar.Table, perm []int) *columnar.Table {
+	out := columnar.NewTable(t.Name())
+	for _, c := range t.Columns() {
+		switch c.Kind() {
+		case columnar.Int64:
+			out.MustAddColumn(columnar.NewInt64(c.Name(), datagen.ApplyPermInt64(c.I64(), perm)))
+		case columnar.Int32:
+			out.MustAddColumn(columnar.NewInt32(c.Name(), datagen.ApplyPermInt32(c.I32(), perm)))
+		case columnar.Date:
+			out.MustAddColumn(columnar.NewDate(c.Name(), datagen.ApplyPermInt32(c.I32(), perm)))
+		case columnar.Float64:
+			out.MustAddColumn(columnar.NewFloat64(c.Name(), datagen.ApplyPermFloat64(c.F64(), perm)))
+		}
+	}
+	return out
+}
+
+// QuantileInt32 returns the q-quantile (0..1) of the column's values; used to
+// pick shipdate cutoffs that hit a target selectivity exactly on the
+// generated data.
+func QuantileInt32(c *columnar.Column, q float64) int32 {
+	vals := append([]int32(nil), c.I32()...)
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	if len(vals) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(vals)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}
+
+// ShipdateCutoff returns a "l_shipdate <= cutoff" bound whose selectivity on
+// this data set is approximately sel in [0,1]. sel smaller than 1/n yields a
+// cutoff before the first ship date (selectivity 0 on most draws).
+func (d *Dataset) ShipdateCutoff(sel float64) int32 {
+	if sel <= 0 {
+		return StartDate - 1
+	}
+	if sel >= 1 {
+		return EndShipDate
+	}
+	return QuantileInt32(d.Lineitem.Column("l_shipdate"), sel)
+}

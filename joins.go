@@ -1,0 +1,106 @@
+package progopt
+
+import (
+	"fmt"
+
+	"progopt/internal/core"
+	"progopt/internal/exec"
+	"progopt/internal/tpch"
+)
+
+// ShuffleWindow returns a copy of the data set whose lineitem rows are
+// permuted by a windowed Knuth shuffle over the current order: window 1
+// keeps the order, larger windows progressively destroy locality (the
+// paper's §5.5 sortedness axis).
+func (d *Dataset) ShuffleWindow(window int, seed int64) *Dataset {
+	return &Dataset{d: d.d.ShuffleLineitemWindow(window, seed)}
+}
+
+// JoinSpec specifies one foreign-key join from lineitem into a build table.
+type JoinSpec struct {
+	// Build is "orders" (co-clustered with lineitem in natural order) or
+	// "part" (uniformly random access).
+	Build string
+	// FilterSelectivity in (0, 1] sets the build-side filter's selectivity.
+	FilterSelectivity float64
+}
+
+// BuildPipeline builds a query over lineitem whose reorderable operators are
+// the given predicates followed by the given FK joins (initial order as
+// listed; the progressive optimizer may permute all of them).
+func (e *Engine) BuildPipeline(d *Dataset, preds []Predicate, joins []JoinSpec) (*Query, error) {
+	if len(preds)+len(joins) == 0 {
+		return nil, fmt.Errorf("progopt: pipeline needs at least one operator")
+	}
+	var ops []exec.Op
+	if len(preds) > 0 {
+		pq, err := e.BuildScan(d, preds, false)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, pq.q.Ops...)
+	}
+	for _, js := range joins {
+		if js.FilterSelectivity <= 0 || js.FilterSelectivity > 1 {
+			return nil, fmt.Errorf("progopt: join filter selectivity %v outside (0,1]", js.FilterSelectivity)
+		}
+		var j *exec.FKJoin
+		var err error
+		switch js.Build {
+		case "orders":
+			cut := tpch.QuantileInt32(d.d.Orders.Column("o_orderdate"), js.FilterSelectivity)
+			filter := &exec.Predicate{Col: d.d.Orders.Column("o_orderdate"), Op: exec.LE, I: int64(cut)}
+			j, err = exec.NewFKJoin(e.cpu, d.d.Lineitem.Column("l_orderkey"), d.d.NumOrders, filter, "join-orders")
+		case "part":
+			cut := int64(50 * js.FilterSelectivity)
+			filter := &exec.Predicate{Col: d.d.Part.Column("p_size"), Op: exec.LE, I: cut}
+			j, err = exec.NewFKJoin(e.cpu, d.d.Lineitem.Column("l_partkey"), d.d.NumParts, filter, "join-part")
+		default:
+			return nil, fmt.Errorf("progopt: unknown build table %q", js.Build)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, j)
+	}
+	q := &exec.Query{Table: d.d.Lineitem, Ops: ops}
+	if err := e.eng.BindQuery(q); err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// SortednessReport classifies the locality of a join's build-side accesses
+// from its sampled miss count (§5.5-§5.6).
+type SortednessReport struct {
+	// Ratio is sampled misses / Eq.(1)-predicted random misses.
+	Ratio float64
+	// Class is "co-clustered", "partially-clustered", or "random".
+	Class string
+}
+
+// DetectJoinLocality runs the query once, attributes its L3 misses to the
+// given build table, and classifies the access pattern against the paper's
+// random-access prediction (Eq. 1). The returned result is the measurement
+// run's result.
+func (e *Engine) DetectJoinLocality(q *Query, d *Dataset, build string) (Result, SortednessReport, error) {
+	var buildTuples int
+	switch build {
+	case "orders":
+		buildTuples = d.d.NumOrders
+	case "part":
+		buildTuples = d.d.NumParts
+	default:
+		return Result{}, SortednessReport{}, fmt.Errorf("progopt: unknown build table %q", build)
+	}
+	res, err := e.Run(q)
+	if err != nil {
+		return Result{}, SortednessReport{}, err
+	}
+	rep := core.DetectSortedness(
+		cacheGeometry(e.cpu.Profile()),
+		buildTuples, 8, d.Lineitems(),
+		float64(res.Counters["l3_miss"]),
+	)
+	return res, SortednessReport{Ratio: rep.Ratio, Class: rep.Class.String()}, nil
+}

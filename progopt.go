@@ -1,0 +1,398 @@
+package progopt
+
+import (
+	"fmt"
+
+	"progopt/internal/columnar"
+	"progopt/internal/core"
+	"progopt/internal/exec"
+	"progopt/internal/hw/branch"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/hw/pmu"
+	"progopt/internal/tpch"
+)
+
+// Arch names the simulated branch-predictor microarchitecture.
+type Arch string
+
+// Supported architectures (see internal/hw/branch for the models).
+const (
+	ArchDefault     Arch = ""
+	ArchNehalem     Arch = "nehalem"
+	ArchSandyBridge Arch = "sandy-bridge"
+	ArchIvyBridge   Arch = "ivy-bridge"
+	ArchBroadwell   Arch = "broadwell"
+	ArchAMD         Arch = "amd"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// VectorSize is tuples per execution vector (default 2048).
+	VectorSize int
+	// Arch selects the simulated branch predictor (default Ivy Bridge, the
+	// paper's evaluation machine).
+	Arch Arch
+	// DisablePrefetch turns the simulated L2 streamer off.
+	DisablePrefetch bool
+}
+
+// Engine is the public facade: a simulated core plus the vectorized query
+// engine and the progressive optimizer.
+type Engine struct {
+	cpu *cpu.CPU
+	eng *exec.Engine
+}
+
+// New builds an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.VectorSize <= 0 {
+		cfg.VectorSize = 2048
+	}
+	prof := cpu.ScaledXeon()
+	if cfg.Arch != ArchDefault {
+		prof = cpu.ForArch(branch.Arch(cfg.Arch))
+	}
+	if cfg.DisablePrefetch {
+		prof.Hierarchy.PrefetchDisabled = true
+	}
+	c, err := cpu.New(prof)
+	if err != nil {
+		return nil, err
+	}
+	e, err := exec.NewEngine(c, cfg.VectorSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cpu: c, eng: e}, nil
+}
+
+// Ordering selects the physical row order of a generated TPC-H data set.
+type Ordering string
+
+// Row orderings (the paper's Figure 13 axis plus the bulk-load default).
+const (
+	// OrderNatural is dbgen bulk-load order: weakly clustered shipdate,
+	// lineitem co-clustered with orders.
+	OrderNatural Ordering = "natural"
+	// OrderSorted sorts lineitem by shipdate.
+	OrderSorted Ordering = "sorted"
+	// OrderClustered shuffles within shipdate months.
+	OrderClustered Ordering = "clustered"
+	// OrderRandom fully shuffles rows.
+	OrderRandom Ordering = "random"
+)
+
+// Dataset wraps a generated TPC-H data set.
+type Dataset struct {
+	d *tpch.Dataset
+}
+
+// GenerateTPCH produces a TPC-H-shaped data set with the given lineitem
+// count and row ordering.
+func (e *Engine) GenerateTPCH(lineitems int, seed int64, order Ordering) (*Dataset, error) {
+	d, err := tpch.Generate(tpch.Config{Lineitems: lineitems, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	switch order {
+	case OrderNatural, "":
+	case OrderSorted:
+		d = d.ReorderLineitem(tpch.OrderingShipdateSorted, seed+1)
+	case OrderClustered:
+		d = d.ReorderLineitem(tpch.OrderingClusteredMonth, seed+1)
+	case OrderRandom:
+		d = d.ReorderLineitem(tpch.OrderingRandom, seed+1)
+	default:
+		return nil, fmt.Errorf("progopt: unknown ordering %q", order)
+	}
+	return &Dataset{d: d}, nil
+}
+
+// Lineitems returns the lineitem row count.
+func (d *Dataset) Lineitems() int { return d.d.Lineitem.NumRows() }
+
+// ShipdateCutoff returns a shipdate bound hitting the given selectivity.
+func (d *Dataset) ShipdateCutoff(sel float64) int32 { return d.d.ShipdateCutoff(sel) }
+
+// Query wraps an executable query plan whose operator order the progressive
+// optimizer may permute.
+type Query struct {
+	q *exec.Query
+}
+
+// NumOps returns the number of reorderable operators.
+func (q *Query) NumOps() int { return len(q.q.Ops) }
+
+// OpNames returns operator names in the current evaluation order.
+func (q *Query) OpNames() []string { return q.q.OpNames() }
+
+// WithOrder returns the query with operators permuted (position i takes old
+// operator perm[i]).
+func (q *Query) WithOrder(perm []int) (*Query, error) {
+	qo, err := q.q.WithOrder(perm)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: qo}, nil
+}
+
+// BuildQ6 builds TPC-H Query 6 (five reorderable predicates) over the data
+// set and binds it into the engine's address space.
+func (e *Engine) BuildQ6(d *Dataset) (*Query, error) {
+	q, err := exec.Q6(d.d)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.eng.BindQuery(q); err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// BuildQ6Shipdate builds the introduction's modified Q6 (four predicates)
+// with the given shipdate cutoff.
+func (e *Engine) BuildQ6Shipdate(d *Dataset, cutoff int32) (*Query, error) {
+	q, err := exec.Q6Shipdate(d.d, cutoff)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.eng.BindQuery(q); err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// Cmp is a predicate comparison operator.
+type Cmp string
+
+// Comparison operators for Predicate.
+const (
+	CmpLE Cmp = "<="
+	CmpLT Cmp = "<"
+	CmpGE Cmp = ">="
+	CmpGT Cmp = ">"
+	CmpEQ Cmp = "="
+)
+
+// Predicate specifies one selection predicate for BuildScan.
+type Predicate struct {
+	// Table selects the lineitem ("lineitem"), orders, or part table.
+	Table string
+	// Column is the column name (e.g. "l_quantity").
+	Column string
+	// Op is the comparison.
+	Op Cmp
+	// Int is the bound for integer/date columns; Float for float columns.
+	Int   int64
+	Float float64
+	// ExtraCostInstr models an expensive predicate (UDF, string match).
+	ExtraCostInstr int
+}
+
+// BuildScan builds a multi-predicate selection over lineitem with an
+// optional sum(l_extendedprice*l_discount) aggregate.
+func (e *Engine) BuildScan(d *Dataset, preds []Predicate, withAgg bool) (*Query, error) {
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("progopt: scan needs at least one predicate")
+	}
+	ops := make([]exec.Op, len(preds))
+	for i, p := range preds {
+		tbl := d.d.Lineitem
+		switch p.Table {
+		case "", "lineitem":
+		case "orders":
+			tbl = d.d.Orders
+		case "part":
+			tbl = d.d.Part
+		default:
+			return nil, fmt.Errorf("progopt: unknown table %q", p.Table)
+		}
+		col := tbl.Column(p.Column)
+		if col == nil {
+			return nil, fmt.Errorf("progopt: unknown column %q in %q", p.Column, tbl.Name())
+		}
+		var op exec.CmpOp
+		switch p.Op {
+		case CmpLE:
+			op = exec.LE
+		case CmpLT:
+			op = exec.LT
+		case CmpGE:
+			op = exec.GE
+		case CmpGT:
+			op = exec.GT
+		case CmpEQ:
+			op = exec.EQ
+		default:
+			return nil, fmt.Errorf("progopt: unknown comparison %q", p.Op)
+		}
+		ops[i] = &exec.Predicate{Col: col, Op: op, I: p.Int, F: p.Float, ExtraCostInstr: p.ExtraCostInstr}
+	}
+	q := &exec.Query{Table: d.d.Lineitem, Ops: ops}
+	if withAgg {
+		price := d.d.Lineitem.Column("l_extendedprice")
+		disc := d.d.Lineitem.Column("l_discount")
+		pf, df := price.F64(), disc.F64()
+		q.Agg = &exec.Aggregate{
+			Cols: []*columnar.Column{price, disc},
+			F:    func(row int) float64 { return pf[row] * df[row] },
+		}
+	}
+	if err := e.eng.BindQuery(q); err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// Result reports a query execution.
+type Result struct {
+	// Qualifying is the output cardinality.
+	Qualifying int64
+	// Sum is the aggregate value (0 without an aggregate).
+	Sum float64
+	// Cycles is the simulated cycle cost.
+	Cycles uint64
+	// Millis is Cycles at the simulated clock.
+	Millis float64
+	// Counters holds the PMU deltas by perf-style event name.
+	Counters map[string]uint64
+}
+
+func toResult(r exec.Result) Result {
+	counters := make(map[string]uint64, pmu.NumEvents)
+	for ev := pmu.Event(0); ev < pmu.NumEvents; ev++ {
+		counters[ev.String()] = r.Counters.Get(ev)
+	}
+	return Result{
+		Qualifying: r.Qualifying,
+		Sum:        r.Sum,
+		Cycles:     r.Cycles,
+		Millis:     r.Millis,
+		Counters:   counters,
+	}
+}
+
+// Run executes the query with a fixed operator order (the baseline "common
+// execution pattern") from a cold hardware state.
+func (e *Engine) Run(q *Query) (Result, error) {
+	e.cpu.FlushCaches()
+	e.cpu.ResetPredictor()
+	r, err := e.eng.Run(q.q)
+	if err != nil {
+		return Result{}, err
+	}
+	return toResult(r), nil
+}
+
+// Progressive configures progressive optimization.
+type Progressive struct {
+	// Interval is the number of vectors between optimization cycles
+	// (default 10, the paper's best setting).
+	Interval int
+	// DisableValidation skips the reorder validation step (ablation).
+	DisableValidation bool
+}
+
+// Stats reports what the progressive optimizer did.
+type Stats struct {
+	// Optimizations, Reorders, and Reverts count optimizer actions.
+	Optimizations, Reorders, Reverts int
+	// FinalOrder is the final operator permutation.
+	FinalOrder []int
+	// LastEstimate is the final selectivity estimate per operator position.
+	LastEstimate []float64
+}
+
+// RunProgressive executes the query with progressive re-optimization from a
+// cold hardware state.
+func (e *Engine) RunProgressive(q *Query, p Progressive) (Result, Stats, error) {
+	if p.Interval <= 0 {
+		p.Interval = 10
+	}
+	e.cpu.FlushCaches()
+	e.cpu.ResetPredictor()
+	r, st, err := core.RunProgressive(e.eng, q.q, core.Options{
+		ReopInterval:      p.Interval,
+		DisableValidation: p.DisableValidation,
+	})
+	if err != nil {
+		return Result{}, Stats{}, err
+	}
+	return toResult(r), Stats{
+		Optimizations: st.Optimizations,
+		Reorders:      st.Reorders,
+		Reverts:       st.Reverts,
+		FinalOrder:    st.FinalOrder,
+		LastEstimate:  st.LastEstimate,
+	}, nil
+}
+
+// MicroAdaptiveStats extends Stats with implementation-choice telemetry.
+type MicroAdaptiveStats struct {
+	Stats
+	// BranchingVectors and BranchFreeVectors count vectors per scan
+	// implementation; ImplSwitches counts changes.
+	BranchingVectors, BranchFreeVectors, ImplSwitches int
+}
+
+// RunMicroAdaptive executes the query with progressive re-optimization plus
+// micro-adaptive implementation choice: each optimization cycle also decides
+// whether upcoming vectors run the branching (short-circuiting) or the
+// branch-free (predicated) scan, from the counter-estimated selectivities.
+func (e *Engine) RunMicroAdaptive(q *Query, p Progressive) (Result, MicroAdaptiveStats, error) {
+	if p.Interval <= 0 {
+		p.Interval = 10
+	}
+	e.cpu.FlushCaches()
+	e.cpu.ResetPredictor()
+	r, st, err := core.RunMicroAdaptive(e.eng, q.q, core.Options{
+		ReopInterval:      p.Interval,
+		DisableValidation: p.DisableValidation,
+	})
+	if err != nil {
+		return Result{}, MicroAdaptiveStats{}, err
+	}
+	return toResult(r), MicroAdaptiveStats{
+		Stats: Stats{
+			Optimizations: st.Optimizations,
+			Reorders:      st.Reorders,
+			Reverts:       st.Reverts,
+			FinalOrder:    st.FinalOrder,
+			LastEstimate:  st.LastEstimate,
+		},
+		BranchingVectors:  st.BranchingVectors,
+		BranchFreeVectors: st.BranchFreeVectors,
+		ImplSwitches:      st.ImplSwitches,
+	}, nil
+}
+
+// EstimateSelectivities runs one estimation cycle offline: it executes a
+// single vector of the query, samples the four paper counters, and inverts
+// the cost models. Exposed so applications can inspect the estimator
+// directly (see examples/skew_detection).
+func (e *Engine) EstimateSelectivities(q *Query) ([]float64, error) {
+	n := q.q.Table.NumRows()
+	vs := e.eng.VectorSize()
+	if n < vs {
+		vs = n
+	}
+	before := e.cpu.Sample()
+	if _, err := e.eng.RunVector(q.q, 0, vs); err != nil {
+		return nil, err
+	}
+	delta := e.cpu.Sample().Sub(before)
+	sample := core.SampleFromPMU(delta, vs)
+	widths := make([]int, len(q.q.Ops))
+	for i, op := range q.q.Ops {
+		widths[i] = op.Width()
+	}
+	prof := e.cpu.Profile()
+	est, err := core.EstimateSelectivities(sample, core.EstimatorConfig{
+		Widths:   widths,
+		Geometry: cacheGeometry(prof),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return est.Sels, nil
+}

@@ -1,0 +1,235 @@
+package progopt
+
+import (
+	"math"
+	"testing"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(Config{VectorSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewDefaults(t *testing.T) {
+	if _, err := New(Config{}); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	for _, a := range []Arch{ArchNehalem, ArchSandyBridge, ArchIvyBridge, ArchBroadwell, ArchAMD} {
+		if _, err := New(Config{Arch: a}); err != nil {
+			t.Errorf("arch %q rejected: %v", a, err)
+		}
+	}
+	if _, err := New(Config{Arch: "pentium"}); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestGenerateTPCHOrderings(t *testing.T) {
+	e := testEngine(t)
+	for _, o := range []Ordering{OrderNatural, OrderSorted, OrderClustered, OrderRandom, ""} {
+		d, err := e.GenerateTPCH(5000, 1, o)
+		if err != nil {
+			t.Fatalf("ordering %q: %v", o, err)
+		}
+		if d.Lineitems() != 5000 {
+			t.Errorf("ordering %q: %d rows", o, d.Lineitems())
+		}
+	}
+	if _, err := e.GenerateTPCH(5000, 1, "spiral"); err == nil {
+		t.Error("unknown ordering accepted")
+	}
+	if _, err := e.GenerateTPCH(0, 1, OrderNatural); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestQ6EndToEnd(t *testing.T) {
+	e := testEngine(t)
+	d, err := e.GenerateTPCH(30000, 3, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.BuildQ6(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumOps() != 5 || len(q.OpNames()) != 5 {
+		t.Fatalf("Q6 has %d ops", q.NumOps())
+	}
+	base, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Qualifying == 0 || base.Millis <= 0 {
+		t.Fatalf("degenerate result %+v", base)
+	}
+	if base.Counters["br_not_taken"] == 0 || base.Counters["l3_access"] == 0 {
+		t.Error("counters missing")
+	}
+
+	prog, st, err := e.RunProgressive(q, Progressive{Interval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Qualifying != base.Qualifying {
+		t.Errorf("progressive changed results: %d vs %d", prog.Qualifying, base.Qualifying)
+	}
+	if math.Abs(prog.Sum-base.Sum) > math.Abs(base.Sum)*1e-9 {
+		t.Error("progressive changed aggregate")
+	}
+	if st.Optimizations == 0 {
+		t.Error("no optimizations ran")
+	}
+	if len(st.FinalOrder) != 5 {
+		t.Errorf("final order %v", st.FinalOrder)
+	}
+}
+
+func TestBuildQ6ShipdateAndWithOrder(t *testing.T) {
+	e := testEngine(t)
+	d, err := e.GenerateTPCH(20000, 4, OrderRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.BuildQ6Shipdate(d, d.ShipdateCutoff(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumOps() != 4 {
+		t.Fatalf("modified Q6 has %d ops", q.NumOps())
+	}
+	r1, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := q.WithOrder([]int{3, 2, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Qualifying != r2.Qualifying {
+		t.Error("result depends on order")
+	}
+	if _, err := q.WithOrder([]int{0, 0, 1, 2}); err == nil {
+		t.Error("invalid permutation accepted")
+	}
+}
+
+func TestBuildScan(t *testing.T) {
+	e := testEngine(t)
+	d, err := e.GenerateTPCH(20000, 5, OrderRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.BuildScan(d, []Predicate{
+		{Column: "l_quantity", Op: CmpLT, Int: 10},
+		{Column: "l_discount", Op: CmpGE, Float: 0.05},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selectivity sanity: quantity<10 is ~18%, discount>=0.05 ~55%.
+	frac := float64(res.Qualifying) / float64(d.Lineitems())
+	if frac < 0.05 || frac > 0.2 {
+		t.Errorf("conjunctive selectivity %v implausible", frac)
+	}
+	if res.Sum <= 0 {
+		t.Error("aggregate empty")
+	}
+
+	if _, err := e.BuildScan(d, nil, false); err == nil {
+		t.Error("empty predicate list accepted")
+	}
+	if _, err := e.BuildScan(d, []Predicate{{Column: "nope", Op: CmpLT}}, false); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := e.BuildScan(d, []Predicate{{Table: "galaxy", Column: "x", Op: CmpLT}}, false); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := e.BuildScan(d, []Predicate{{Column: "l_quantity", Op: "!="}}, false); err == nil {
+		t.Error("unknown comparison accepted")
+	}
+}
+
+func TestEstimateSelectivities(t *testing.T) {
+	e := testEngine(t)
+	d, err := e.GenerateTPCH(20000, 6, OrderRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.BuildScan(d, []Predicate{
+		{Column: "l_quantity", Op: CmpLT, Int: 25}, // ~48%
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sels, err := e.EstimateSelectivities(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) != 1 {
+		t.Fatalf("got %d estimates", len(sels))
+	}
+	if sels[0] < 0.38 || sels[0] > 0.58 {
+		t.Errorf("estimated selectivity %v, want ~0.48", sels[0])
+	}
+}
+
+func TestRunMicroAdaptiveFacade(t *testing.T) {
+	e := testEngine(t)
+	d, err := e.GenerateTPCH(30000, 9, OrderRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-selectivity predicates: the adaptive driver should use the
+	// branch-free implementation for most vectors.
+	q, err := e.BuildScan(d, []Predicate{
+		{Column: "l_quantity", Op: CmpLE, Int: 25},
+		{Column: "l_discount", Op: CmpLE, Float: 0.05},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := e.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := e.RunMicroAdaptive(q, Progressive{Interval: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Qualifying != base.Qualifying {
+		t.Errorf("micro-adaptive changed results: %d vs %d", res.Qualifying, base.Qualifying)
+	}
+	if st.BranchFreeVectors == 0 {
+		t.Error("never used the branch-free scan on mid-selectivity predicates")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 17 { // 14 paper figures + 3 extensions
+		t.Fatalf("%d experiment ids", len(ids))
+	}
+	tables, err := RunExperiment("fig07", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || tables[0].Text == "" || tables[0].CSV == "" {
+		t.Error("fig07 rendering empty")
+	}
+	if _, err := RunExperiment("fig99", true); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -264,6 +264,73 @@ func BenchmarkExtStatic(b *testing.B) {
 	})
 }
 
+// --- Execution-core benches: tuple-at-a-time v. batch kernels v. morsels ---
+
+// benchQ6 builds a bound Q6 over a mid-sized data set shared by the
+// execution-core benches.
+func benchQ6(b *testing.B, rows int) *exec.Query {
+	b.Helper()
+	d, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := exec.Q6(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := exec.MustEngine(cpu.MustNew(cpu.ScaledXeon()), 1024).BindQuery(q); err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// benchRunMode measures host wall-clock per full-table Q6 execution in the
+// given engine mode; the simulated cycle count is reported alongside. This
+// is the acceptance gauge of the batch-kernel refactor: identical simulated
+// work, less interpretation overhead per tuple.
+func benchRunMode(b *testing.B, scalar bool) {
+	q := benchQ6(b, 200_000)
+	e := exec.MustEngine(cpu.MustNew(cpu.ScaledXeon()), 1024)
+	e.SetScalar(scalar)
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// BenchmarkRunTupleAtATime is the seed engine's interpreted row loop.
+func BenchmarkRunTupleAtATime(b *testing.B) { benchRunMode(b, true) }
+
+// BenchmarkRunBatch is the batch-kernel pipeline over selection vectors.
+func BenchmarkRunBatch(b *testing.B) { benchRunMode(b, false) }
+
+// BenchmarkRunParallel is the batch pipeline under the morsel scheduler;
+// sim_cycles is the 4-core makespan (the simulated speedup), while ns/op
+// remains host time for simulating all four cores.
+func BenchmarkRunParallel(b *testing.B) {
+	q := benchQ6(b, 200_000)
+	p, err := exec.NewParallel(cpu.ScaledXeon(), 4, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := p.Run(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
 // --- Ablation benches (DESIGN.md, "Key design decisions") ---
 
 func ablationDataset(b *testing.B, rows int, ord tpch.Ordering) *tpch.Dataset {

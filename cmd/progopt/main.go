@@ -18,13 +18,15 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment id (fig01..fig16) or 'all'")
-		quick  = flag.Bool("quick", false, "reduced data sizes and sweeps")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		seed   = flag.Int64("seed", 1, "data generation seed")
-		vector = flag.Int("vector", 0, "vector size in tuples (0 = default)")
-		perms  = flag.Int("perms", 0, "cap on PEO permutations in sweeps (0 = experiment default)")
+		fig     = flag.String("fig", "all", "experiment id (fig01..fig16) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced data sizes and sweeps")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Int64("seed", 1, "data generation seed")
+		vector  = flag.Int("vector", 0, "vector size in tuples (0 = default)")
+		perms   = flag.Int("perms", 0, "cap on PEO permutations in sweeps (0 = experiment default)")
+		workers = flag.Int("workers", 1, "simulated cores per measurement (morsel-driven when > 1)")
+		scalar  = flag.Bool("scalar", false, "tuple-at-a-time row loop instead of batch kernels")
 	)
 	flag.Parse()
 
@@ -40,6 +42,8 @@ func main() {
 		Seed:       *seed,
 		VectorSize: *vector,
 		PermSample: *perms,
+		Workers:    *workers,
+		ScalarExec: *scalar,
 	}
 
 	var exps []experiments.Experiment

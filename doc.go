@@ -5,13 +5,19 @@
 // by CPU performance counters.
 //
 // Because real performance-monitoring units are neither portable nor
-// deterministic, the engine runs on a simulated core (branch predictors, a
+// deterministic, the engine runs on simulated cores (branch predictors, a
 // three-level cache hierarchy with a stream prefetcher, PMU counters, and
-// cycle accounting) that mirrors every column access and conditional branch
+// cycle accounting) that mirror every column access and conditional branch
 // of query execution. Everything above the counters — the Markov-chain
 // branch cost model, the Pirk/Manegold cache cost models, the Nelder-Mead
 // selectivity estimator with search-space restriction, and the progressive
 // reorder-validate-revert loop — is the paper's machinery, unchanged.
+//
+// Queries execute as batch kernels over selection vectors (Config.ScalarExec
+// restores the tuple-at-a-time row loop; results and PMU load/branch counts
+// are identical either way), and Config.Workers > 1 runs the scan
+// morsel-driven across multiple simulated cores with deterministic makespans
+// and per-core counters merged for the optimizer. See DESIGN.md.
 //
 // # Quick start
 //

@@ -32,6 +32,11 @@ type PlanExplain struct {
 	// Table is the driving table name and Rows its cardinality.
 	Table string
 	Rows  int
+	// Exec names the execution mode ("batch" kernels over selection vectors,
+	// or the "scalar" row loop) and Workers the simulated core count the
+	// engine will use for the scan.
+	Exec    string
+	Workers int
 	// Ops describes the operators in evaluation order.
 	Ops []OpExplain
 	// PredictedBNT, PredictedMP, PredictedL3 are the §3 model's counter
@@ -45,7 +50,7 @@ type PlanExplain struct {
 // String renders the plan in an EXPLAIN-like block.
 func (p PlanExplain) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Scan %s (%d rows)\n", p.Table, p.Rows)
+	fmt.Fprintf(&b, "Scan %s (%d rows; %s exec, %d worker(s))\n", p.Table, p.Rows, p.Exec, p.Workers)
 	for _, op := range p.Ops {
 		fmt.Fprintf(&b, "  %d: %-24s %-9s sel=%.4f  input=%.4f\n",
 			op.Position, op.Name, op.Kind, op.TrueSelectivity, op.EstimatedInput)
@@ -60,8 +65,13 @@ func (p PlanExplain) String() string {
 // counter predictions for the current evaluation order.
 func (e *Engine) Explain(q *Query) (PlanExplain, error) {
 	out := PlanExplain{
-		Table: q.q.Table.Name(),
-		Rows:  q.q.Table.NumRows(),
+		Table:   q.q.Table.Name(),
+		Rows:    q.q.Table.NumRows(),
+		Exec:    "batch",
+		Workers: e.workers,
+	}
+	if e.scalar {
+		out.Exec = "scalar"
 	}
 	sels := make([]float64, len(q.q.Ops))
 	widths := make([]int, len(q.q.Ops))

@@ -1,0 +1,3 @@
+module progopt
+
+go 1.24

@@ -52,12 +52,13 @@ func (k Kind) Width() int {
 
 // Column is one typed, contiguously stored attribute.
 type Column struct {
-	name string
-	kind Kind
-	i64  []int64
-	i32  []int32
-	f64  []float64
-	base uint64
+	name  string
+	kind  Kind
+	i64   []int64
+	i32   []int32
+	f64   []float64
+	base  uint64
+	bound bool
 }
 
 // NewInt64 builds an int64 column. The slice is owned by the column.
@@ -105,8 +106,16 @@ func (c *Column) Len() int {
 // SizeBytes returns the storage footprint.
 func (c *Column) SizeBytes() int { return c.Len() * c.Width() }
 
-// Bind assigns the column's base in the simulated address space.
-func (c *Column) Bind(base uint64) { c.base = base }
+// Bind assigns the column's base in the simulated address space and marks the
+// column bound. Any base — including 0 — is legitimate; use Bound to test
+// binding state rather than comparing Base against a sentinel.
+func (c *Column) Bind(base uint64) {
+	c.base = base
+	c.bound = true
+}
+
+// Bound reports whether the column has been bound into an address space.
+func (c *Column) Bound() bool { return c.bound }
 
 // Base returns the bound base address (0 if unbound).
 func (c *Column) Base() uint64 { return c.base }

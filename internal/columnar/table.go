@@ -82,10 +82,15 @@ type Allocator interface {
 	Alloc(size int) (uint64, error)
 }
 
-// BindAll binds every column of the table into the allocator's address space.
-// Columns are laid out in insertion order, each in its own allocation.
+// BindAll binds every still-unbound column of the table into the allocator's
+// address space. Columns are laid out in insertion order, each in its own
+// allocation; columns already bound (by an earlier query over the same table)
+// keep their addresses.
 func (t *Table) BindAll(a Allocator) error {
 	for _, c := range t.cols {
+		if c.Bound() {
+			continue
+		}
 		size := c.SizeBytes()
 		if size == 0 {
 			size = 1 // keep zero-row tables addressable

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"progopt/internal/exec"
+	"progopt/internal/hw/pmu"
+)
+
+// ParallelStats reports what the parallel progressive driver did.
+type ParallelStats struct {
+	Stats
+	// Workers is the number of simulated cores.
+	Workers int
+	// Blocks is the number of morsel blocks (optimization epochs) executed.
+	Blocks int
+}
+
+// RunParallelProgressive executes the query morsel-driven across the
+// parallel executor's cores with progressive re-optimization at block
+// granularity: each block spans ReopInterval vectors per core; at every
+// block boundary the per-core PMU deltas are merged and the selectivity
+// estimator inverts the cost models over the aggregate — summing per-core
+// counters is exactly how a multi-core deployment samples its PMUs — then
+// operators are reordered by ascending estimate. The next block validates
+// the reorder against the previous block's per-vector cost and reverts on
+// regression, the parallel analogue of §4.4's vector-level validation.
+//
+// Estimation runs on core 0 while the other cores idle at the block barrier,
+// so its cycle cost extends the makespan; a reorder re-JITs the scan loop on
+// every core (predictor reset + recompile charge).
+//
+// Query results (Qualifying, Sum) are bit-identical to a serial run and
+// deterministic across worker counts; because the morsel scheduler runs on
+// simulated clocks, cycle counts, counter samples, and optimizer decisions
+// are also fully reproducible run to run.
+func RunParallelProgressive(p *exec.Parallel, q *exec.Query, opt Options) (exec.Result, ParallelStats, error) {
+	if err := q.Validate(); err != nil {
+		return exec.Result{}, ParallelStats{}, err
+	}
+	opt.setDefaults()
+	engines := p.Engines()
+	w0 := engines[0].CPU()
+	if opt.Geometry.LineSize == 0 {
+		hier := w0.Profile().Hierarchy
+		opt.Geometry.LineSize = hier.L3.LineSize
+		opt.Geometry.CapacityLines = hier.L3.Lines()
+	}
+
+	nOps := len(q.Ops)
+	curPerm := identity(nOps)
+	prevPerm := identity(nOps)
+	curQ := q
+	aggWidths := aggColumnWidths(q)
+
+	startSamples := make([]pmu.Sample, len(engines))
+	for i, e := range engines {
+		startSamples[i] = e.CPU().Sample()
+	}
+
+	n := q.Table.NumRows()
+	vs := p.VectorSize()
+	numVec := p.NumVectors(q)
+	blockVecs := opt.ReopInterval * p.Workers()
+	if opt.ReopInterval <= 0 || blockVecs <= 0 {
+		blockVecs = numVec // no re-optimization: one block
+	}
+	if blockVecs <= 0 {
+		blockVecs = 1
+	}
+
+	var out exec.Result
+	st := ParallelStats{Workers: p.Workers()}
+	var totalCycles uint64
+	prevCostPerVec := -1.0
+	pendingValidation := false
+
+	for v0 := 0; v0 < numVec; v0 += blockVecs {
+		v1 := v0 + blockVecs
+		if v1 > numVec {
+			v1 = numVec
+		}
+		br, err := p.RunBlock(curQ, v0, v1)
+		if err != nil {
+			return exec.Result{}, ParallelStats{}, err
+		}
+		st.Blocks++
+		out.Qualifying += br.Qualifying
+		out.Sum += br.Sum
+		out.Vectors += br.Vectors
+		totalCycles += br.MaxCycles
+		costPerVec := float64(br.MaxCycles) / float64(br.Vectors)
+
+		if pendingValidation && !opt.DisableValidation {
+			pendingValidation = false
+			if prevCostPerVec > 0 && costPerVec > prevCostPerVec*(1+opt.ValidationTolerance) {
+				// Deteriorated: re-establish the previous order on all cores.
+				curPerm = append([]int(nil), prevPerm...)
+				curQ, err = q.WithOrder(curPerm)
+				if err != nil {
+					return exec.Result{}, ParallelStats{}, err
+				}
+				totalCycles += recompileAll(p, opt)
+				st.Reverts++
+			}
+		}
+
+		if opt.ReopInterval > 0 && v1 < numVec {
+			// Estimation epoch on the coordinator core.
+			c0 := w0.Cycles()
+			w0.Exec(opt.SampleCostInstr)
+			tuples := v1*vs - v0*vs
+			if v1*vs > n {
+				tuples = n - v0*vs
+			}
+			sample := SampleFromPMU(br.Counters, tuples)
+			cfg := EstimatorConfig{
+				Widths:    opWidths(curQ),
+				AggWidths: aggWidths,
+				Geometry:  opt.Geometry,
+				Chain:     opt.Chain,
+				MaxStarts: opt.MaxStartsOverride,
+			}
+			est, err := EstimateSelectivities(sample, cfg)
+			if err != nil {
+				return exec.Result{}, ParallelStats{}, err
+			}
+			st.Optimizations++
+			st.EstimatorEvaluations += est.NMEvaluations
+			st.LastEstimate = est.Sels
+			w0.Exec(est.NMEvaluations * opt.NMEvalCostInstr)
+			totalCycles += w0.Cycles() - c0
+
+			order := AscendingOrder(est.Sels)
+			newPerm := compose(curPerm, order)
+			if !equalPerm(newPerm, curPerm) {
+				prevPerm = append([]int(nil), curPerm...)
+				curPerm = newPerm
+				curQ, err = q.WithOrder(curPerm)
+				if err != nil {
+					return exec.Result{}, ParallelStats{}, err
+				}
+				totalCycles += recompileAll(p, opt)
+				st.Reorders++
+				pendingValidation = true
+			}
+		}
+		prevCostPerVec = costPerVec
+	}
+
+	out.Cycles = totalCycles
+	out.Millis = w0.MillisOf(totalCycles)
+	var merged pmu.Sample
+	for i, e := range engines {
+		merged = merged.Add(e.CPU().Sample().Sub(startSamples[i]))
+	}
+	out.Counters = merged
+	st.Vectors = out.Vectors
+	st.FinalOrder = curPerm
+	return out, st, nil
+}
+
+// recompileAll re-JITs the scan loop on every core (new branch addresses,
+// re-chained primitives) and returns the resulting makespan extension: the
+// largest per-core cycle delta of the recompile.
+func recompileAll(p *exec.Parallel, opt Options) uint64 {
+	var max uint64
+	for _, e := range p.Engines() {
+		c := e.CPU()
+		c0 := c.Cycles()
+		if !opt.DisablePredictorReset {
+			c.ResetPredictor()
+		}
+		c.Exec(opt.ReorderCostInstr)
+		if d := c.Cycles() - c0; d > max {
+			max = d
+		}
+	}
+	return max
+}

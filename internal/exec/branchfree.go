@@ -28,19 +28,19 @@ type BranchFreeScan struct{}
 const maskCostInstr = 2
 
 // RunVectorBranchFree executes rows [lo, hi) evaluating all predicates for
-// every tuple, without per-predicate conditional branches.
+// every tuple, without per-predicate conditional branches, dispatching to
+// the batch mask kernel or the scalar row loop per the engine mode.
 func (e *Engine) RunVectorBranchFree(q *Query, lo, hi int) (VectorResult, error) {
-	if err := q.Validate(); err != nil {
+	if err := e.checkVector(q, lo, hi); err != nil {
 		return VectorResult{}, err
-	}
-	n := q.Table.NumRows()
-	if lo < 0 || hi > n || lo > hi {
-		return VectorResult{}, fmt.Errorf("exec: vector [%d,%d) outside table of %d rows", lo, hi, n)
 	}
 	for i, op := range q.Ops {
 		if _, ok := op.(*Predicate); !ok {
 			return VectorResult{}, fmt.Errorf("exec: branch-free scan requires predicates only; op %d is %T", i, op)
 		}
+	}
+	if !e.scalar {
+		return e.runVectorBranchFreeBatch(q, lo, hi)
 	}
 	c := e.cpu
 	ops := q.Ops

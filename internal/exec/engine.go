@@ -104,10 +104,17 @@ type Result struct {
 	Vectors int
 }
 
-// Engine executes queries vector-at-a-time on a simulated CPU.
+// Engine executes queries vector-at-a-time on a simulated CPU. By default a
+// vector runs as a batch-kernel pipeline over a reusable selection vector
+// (see batch.go); SetScalar restores the seed's tuple-at-a-time row loop.
 type Engine struct {
 	cpu        *cpu.CPU
 	vectorSize int
+	scalar     bool
+	// selA/selB are the reusable selection-vector buffers of the batch
+	// pipeline; mask is the branch-free batch kernel's qualification mask.
+	selA, selB []int32
+	mask       []bool
 }
 
 // NewEngine returns an engine with the given vector size (tuples per vector).
@@ -120,6 +127,15 @@ func NewEngine(c *cpu.CPU, vectorSize int) (*Engine, error) {
 	}
 	return &Engine{cpu: c, vectorSize: vectorSize}, nil
 }
+
+// SetScalar switches between the batch-kernel pipeline (default, scalar ==
+// false) and the tuple-at-a-time row loop of the seed engine. Both modes
+// produce bit-identical results and identical PMU load/branch counts; only
+// access interleaving (and therefore host wall-clock) differs.
+func (e *Engine) SetScalar(scalar bool) { e.scalar = scalar }
+
+// Scalar reports whether the engine runs the tuple-at-a-time row loop.
+func (e *Engine) Scalar() bool { return e.scalar }
 
 // MustEngine is NewEngine that panics on error.
 func MustEngine(c *cpu.CPU, vectorSize int) *Engine {
@@ -146,17 +162,51 @@ func (e *Engine) NumVectors(q *Query) int {
 // bounds arithmetic).
 const loopOverheadInstr = 2
 
-// RunVector executes rows [lo, hi) of the query in its current operator
-// order. Branch sites are operator positions; site len(Ops) is the loop-back
-// branch.
-func (e *Engine) RunVector(q *Query, lo, hi int) (VectorResult, error) {
+// checkVector validates the query and the [lo, hi) range.
+func (e *Engine) checkVector(q *Query, lo, hi int) error {
 	if err := q.Validate(); err != nil {
-		return VectorResult{}, err
+		return err
 	}
 	n := q.Table.NumRows()
 	if lo < 0 || hi > n || lo > hi {
-		return VectorResult{}, fmt.Errorf("exec: vector [%d,%d) outside table of %d rows", lo, hi, n)
+		return fmt.Errorf("exec: vector [%d,%d) outside table of %d rows", lo, hi, n)
 	}
+	return nil
+}
+
+// RunVector executes rows [lo, hi) of the query in its current operator
+// order, dispatching to the batch-kernel pipeline or the scalar row loop per
+// the engine mode. Branch sites are operator positions; site len(Ops) is the
+// loop-back branch.
+func (e *Engine) RunVector(q *Query, lo, hi int) (VectorResult, error) {
+	if err := e.checkVector(q, lo, hi); err != nil {
+		return VectorResult{}, err
+	}
+	if e.scalar {
+		return e.runVectorScalar(q, lo, hi), nil
+	}
+	return e.runVectorBatch(q, lo, hi)
+}
+
+// RunVectorScalar executes rows [lo, hi) with the tuple-at-a-time row loop
+// regardless of the engine mode (the seed engine's interpreted scan).
+func (e *Engine) RunVectorScalar(q *Query, lo, hi int) (VectorResult, error) {
+	if err := e.checkVector(q, lo, hi); err != nil {
+		return VectorResult{}, err
+	}
+	return e.runVectorScalar(q, lo, hi), nil
+}
+
+// RunVectorBatch executes rows [lo, hi) with the batch-kernel pipeline
+// regardless of the engine mode.
+func (e *Engine) RunVectorBatch(q *Query, lo, hi int) (VectorResult, error) {
+	if err := e.checkVector(q, lo, hi); err != nil {
+		return VectorResult{}, err
+	}
+	return e.runVectorBatch(q, lo, hi)
+}
+
+func (e *Engine) runVectorScalar(q *Query, lo, hi int) VectorResult {
 	c := e.cpu
 	ops := q.Ops
 	loopSite := len(ops)
@@ -184,7 +234,7 @@ func (e *Engine) RunVector(q *Query, lo, hi int) (VectorResult, error) {
 		c.Exec(loopOverheadInstr)
 		c.CondBranch(loopSite, true)
 	}
-	return res, nil
+	return res
 }
 
 // Run executes the whole table vector by vector under a fixed operator order
@@ -216,17 +266,17 @@ func (e *Engine) Run(q *Query) (Result, error) {
 	return out, nil
 }
 
-// BindQuery binds the query's table columns and any join hash regions that
+// BindQuery binds the query's table columns and any join filter columns that
 // are still unbound into the CPU's address space, and flushes caches so runs
 // start cold (the paper's scans never reuse data between runs anyway).
+// Binding state is tracked explicitly per column (columnar.Column.Bound), so
+// a column legitimately bound at address 0 is never re-bound.
 func (e *Engine) BindQuery(q *Query) error {
-	if q.Table.NumCols() > 0 && q.Table.Columns()[0].Base() == 0 {
-		if err := q.Table.BindAll(e.cpu); err != nil {
-			return err
-		}
+	if err := q.Table.BindAll(e.cpu); err != nil {
+		return err
 	}
 	for _, op := range q.Ops {
-		if j, ok := op.(*FKJoin); ok && j.Filter != nil && j.Filter.Col.Base() == 0 {
+		if j, ok := op.(*FKJoin); ok && j.Filter != nil && !j.Filter.Col.Bound() {
 			base, err := e.cpu.Alloc(j.Filter.Col.SizeBytes())
 			if err != nil {
 				return err

@@ -140,8 +140,8 @@ func TestSelectiveFirstIsFaster(t *testing.T) {
 	run := func(order []int) uint64 {
 		e := newEngine(t)
 		q := buildQuery(t, tb, e, 5, 95) // a: 5%, b: 95%
-		// Unbind columns between engines is unnecessary; BindQuery rebinds
-		// only when base is zero, and addresses are engine-local anyway.
+		// Unbinding columns between engines is unnecessary; BindQuery binds
+		// only never-bound columns, and addresses are engine-local anyway.
 		qo, err := q.WithOrder(order)
 		if err != nil {
 			t.Fatal(err)

@@ -69,8 +69,30 @@ type GroupResult struct {
 	Result
 }
 
+// groupUpdateCostInstr is the hash-table maintenance cost per qualifying
+// tuple (hash, compare key, add, increment).
+const groupUpdateCostInstr = 6
+
+// updateGroup simulates and applies one hash-aggregate update for row: the
+// hash-table slot access (read-modify-write of key, sum, count) and the
+// accumulator maintenance. Column loads are the caller's: per-row in the
+// scalar loop, gathered per selection in the batch path.
+func (e *Engine) updateGroup(g *GroupBy, acc map[int64]*Group, row int) {
+	key := g.GroupCol.Int64At(row)
+	bucket := (uint64(key) * 2654435761) & g.mask
+	e.cpu.Load(g.tableBase + bucket*groupSlotBytes)
+	gr, ok := acc[key]
+	if !ok {
+		gr = &Group{Key: key}
+		acc[key] = gr
+	}
+	gr.Sum += g.ValueCol.Float64At(row)
+	gr.Count++
+}
+
 // RunGroupBy executes the query's filters and aggregates survivors into g's
-// hash table. The query's own Agg is ignored; g defines the aggregation.
+// hash table, vector at a time under the engine's execution mode. The
+// query's own Agg is ignored; g defines the aggregation.
 func (e *Engine) RunGroupBy(q *Query, g *GroupBy) (GroupResult, error) {
 	if err := q.Validate(); err != nil {
 		return GroupResult{}, err
@@ -87,35 +109,49 @@ func (e *Engine) RunGroupBy(q *Query, g *GroupBy) (GroupResult, error) {
 	ops := q.Ops
 	loopSite := len(ops)
 	var out GroupResult
-	for row := 0; row < n; row++ {
-		pass := true
-		for si := 0; si < len(ops); si++ {
-			ok := ops[si].Eval(c, row)
-			c.CondBranch(si, !ok)
-			if !ok {
-				pass = false
-				break
-			}
+	for lo := 0; lo < n; lo += e.vectorSize {
+		hi := lo + e.vectorSize
+		if hi > n {
+			hi = n
 		}
-		if pass {
-			c.Load(g.GroupCol.Addr(row))
-			c.Load(g.ValueCol.Addr(row))
-			key := g.GroupCol.Int64At(row)
-			// Hash-table slot access: read-modify-write of (key, sum, count).
-			bucket := (uint64(key) * 2654435761) & g.mask
-			c.Load(g.tableBase + bucket*groupSlotBytes)
-			c.Exec(6) // hash, compare key, add, increment
-			gr, ok := acc[key]
-			if !ok {
-				gr = &Group{Key: key}
-				acc[key] = gr
+		if e.scalar {
+			for row := lo; row < hi; row++ {
+				pass := true
+				for si := 0; si < len(ops); si++ {
+					ok := ops[si].Eval(c, row)
+					c.CondBranch(si, !ok)
+					if !ok {
+						pass = false
+						break
+					}
+				}
+				if pass {
+					c.Load(g.GroupCol.Addr(row))
+					c.Load(g.ValueCol.Addr(row))
+					c.Exec(groupUpdateCostInstr)
+					e.updateGroup(g, acc, row)
+					out.Qualifying++
+				}
+				c.Exec(loopOverheadInstr)
+				c.CondBranch(loopSite, true)
 			}
-			gr.Sum += g.ValueCol.Float64At(row)
-			gr.Count++
-			out.Qualifying++
+			out.Vectors++
+			continue
 		}
-		c.Exec(loopOverheadInstr)
-		c.CondBranch(loopSite, true)
+		sel, err := e.batchSelect(q, lo, hi)
+		if err != nil {
+			return GroupResult{}, err
+		}
+		c.LoadSel(g.GroupCol.Base(), g.GroupCol.Width(), sel)
+		c.LoadSel(g.ValueCol.Base(), g.ValueCol.Width(), sel)
+		for _, r := range sel {
+			e.updateGroup(g, acc, int(r))
+		}
+		c.Exec(groupUpdateCostInstr * len(sel))
+		out.Qualifying += int64(len(sel))
+		c.Exec(loopOverheadInstr * (hi - lo))
+		c.CondBranchN(loopSite, true, hi-lo)
+		out.Vectors++
 	}
 
 	out.Groups = make([]Group, 0, len(acc))
@@ -123,7 +159,6 @@ func (e *Engine) RunGroupBy(q *Query, g *GroupBy) (GroupResult, error) {
 		out.Groups = append(out.Groups, *gr)
 	}
 	sort.Slice(out.Groups, func(a, b int) bool { return out.Groups[a].Key < out.Groups[b].Key })
-	out.Vectors = (n + e.vectorSize - 1) / e.vectorSize
 	out.Cycles = c.Cycles() - startCycles
 	out.Millis = c.MillisOf(out.Cycles)
 	out.Counters = c.Sample().Sub(start)

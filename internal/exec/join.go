@@ -102,6 +102,56 @@ func (j *FKJoin) Eval(c *cpu.CPU, row int) bool {
 	return j.Filter.Eval(c, int(key))
 }
 
+// EvalBatch implements Op: one key load, one bucket probe, and (with a
+// filter) one build-side load and comparison per selected row, with the
+// per-probe arithmetic charged once for the whole vector. Loads, retired
+// instructions, and per-site branch outcomes match Eval exactly.
+func (j *FKJoin) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
+	keyBase := j.Key.Base()
+	kw := uint64(j.Key.Width())
+	c.Exec((2 + j.ExtraCostInstr) * len(sel)) // hash + index arithmetic
+	if j.Filter != nil && j.Filter.ExtraCostInstr > 0 {
+		c.Exec(j.Filter.ExtraCostInstr * len(sel))
+	}
+	ki64, ki32 := j.Key.I64(), j.Key.I32()
+	var fBase uint64
+	var fw uint64
+	if j.Filter != nil {
+		fBase = j.Filter.Col.Base()
+		fw = uint64(j.Filter.Col.Width())
+	}
+	// Key-column gather, run-batched; probes stay per-row (data-dependent).
+	selLoads(c, sel, keyBase, kw)
+	for _, r := range sel {
+		var key int64
+		switch {
+		case ki64 != nil:
+			key = ki64[r]
+		case ki32 != nil:
+			key = int64(ki32[r])
+		default:
+			key = j.Key.Int64At(int(r)) // panics for non-integer keys, like Eval
+		}
+		if key < 0 || key >= j.buildRows {
+			panic(fmt.Sprintf("exec: fk key %d outside build side [0,%d)", key, j.buildRows))
+		}
+		bucket := uint64(key) & (j.bucketLen - 1)
+		c.Load(j.hashBase + bucket*bucketBytes)
+		if j.Filter == nil {
+			c.CondBranch(site, false)
+			out = append(out, r)
+			continue
+		}
+		c.Load(fBase + uint64(key)*fw)
+		ok := j.Filter.passRaw(int(key))
+		c.CondBranch(site, !ok)
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // JoinSelectivity scans the build-side filter directly (no simulation) and
 // returns the probability a probe survives; 1 if the join has no filter.
 func (j *FKJoin) JoinSelectivity() float64 {

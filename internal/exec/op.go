@@ -9,20 +9,34 @@ package exec
 
 import (
 	"fmt"
+	"math"
 
 	"progopt/internal/columnar"
 	"progopt/internal/hw/cpu"
 )
 
-// Op is one per-tuple filtering operator in a query's evaluation order. The
-// engine, not the operator, retires the conditional branch that follows the
-// evaluation — branch sites belong to positions in the compiled loop.
+// Op is one filtering operator in a query's evaluation order. Operators come
+// in two forms: the tuple-at-a-time Eval (the seed engine's interpreted loop,
+// where the engine retires the conditional branch that follows each
+// evaluation) and the batch-kernel EvalBatch, which processes a whole
+// selection vector in one call, amortizing dispatch. Both forms perform the
+// same loads, retire the same instructions, and produce the same per-site
+// branch-outcome streams, so PMU event counts are identical; only the
+// interleaving of accesses across operators differs.
 type Op interface {
 	// Name labels the operator in plans and reports.
 	Name() string
 	// Eval performs the operator's loads and computation for row on c and
-	// reports whether the tuple survives.
+	// reports whether the tuple survives. The engine retires the conditional
+	// branch that follows the evaluation — branch sites belong to positions
+	// in the compiled loop.
 	Eval(c *cpu.CPU, row int) bool
+	// EvalBatch evaluates every row in sel (ascending table row ids),
+	// retiring the conditional branch at the given site per evaluation, and
+	// appends the survivors to out (length 0, capacity >= len(sel)),
+	// returning the survivor selection. In batch form the operator retires
+	// its own branch so the whole vector is processed in one call.
+	EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32
 	// Width returns the byte width of the operator's primary input column
 	// (used by the cost models).
 	Width() int
@@ -132,6 +146,174 @@ func (p *Predicate) Eval(c *cpu.CPU, row int) bool {
 		}
 	}
 	panic(fmt.Sprintf("exec: unknown comparison %d", int(p.Op)))
+}
+
+// EvalBatch implements Op: the batch kernel hoists the column-kind and
+// comparison dispatch out of the row loop, then streams the selection
+// vector through a monomorphic compare-and-branch loop.
+func (p *Predicate) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
+	if p.ExtraCostInstr > 0 {
+		c.Exec(p.ExtraCostInstr * len(sel))
+	}
+	base := p.Col.Base()
+	w := uint64(p.Col.Width())
+	switch p.Col.Kind() {
+	case columnar.Float64:
+		return predLoop(c, site, sel, out, p.Col.F64(), base, w, p.Op, p.F)
+	case columnar.Int64:
+		return predLoop(c, site, sel, out, p.Col.I64(), base, w, p.Op, p.I)
+	default: // Int32, Date
+		if p.I > math.MaxInt32 || p.I < math.MinInt32 {
+			return constLoop(c, site, sel, out, base, w, wideBoundPasses(p.Op, p.I))
+		}
+		return predLoop(c, site, sel, out, p.Col.I32(), base, w, p.Op, int32(p.I))
+	}
+}
+
+// selLoads simulates the column loads of one predicate batch kernel over the
+// selection. Hoisting the loads ahead of the compare/branch phase is
+// count-exact (branch retirement touches no cache state and loads touch no
+// predictor state), and a dense selection becomes a run-batched stream.
+func selLoads(c *cpu.CPU, sel []int32, base, w uint64) {
+	if n := len(sel); n > 0 && int(sel[n-1])-int(sel[0]) == n-1 {
+		c.LoadSeq(base+uint64(sel[0])*w, int(w), n)
+		return
+	}
+	c.LoadSel(base, int(w), sel)
+}
+
+// predLoop is the monomorphic inner loop of a predicate batch kernel: per
+// selected row one load, one comparison, and one retired conditional branch,
+// exactly mirroring Eval plus the engine's branch step.
+func predLoop[T int32 | int64 | float64](c *cpu.CPU, site int, sel, out []int32, vals []T, base, w uint64, op CmpOp, bound T) []int32 {
+	selLoads(c, sel, base, w)
+	switch op {
+	case LE:
+		for _, r := range sel {
+			ok := vals[r] <= bound
+			c.CondBranch(site, !ok)
+			if ok {
+				out = append(out, r)
+			}
+		}
+	case LT:
+		for _, r := range sel {
+			ok := vals[r] < bound
+			c.CondBranch(site, !ok)
+			if ok {
+				out = append(out, r)
+			}
+		}
+	case GE:
+		for _, r := range sel {
+			ok := vals[r] >= bound
+			c.CondBranch(site, !ok)
+			if ok {
+				out = append(out, r)
+			}
+		}
+	case GT:
+		for _, r := range sel {
+			ok := vals[r] > bound
+			c.CondBranch(site, !ok)
+			if ok {
+				out = append(out, r)
+			}
+		}
+	case EQ:
+		for _, r := range sel {
+			ok := vals[r] == bound
+			c.CondBranch(site, !ok)
+			if ok {
+				out = append(out, r)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("exec: unknown comparison %d", int(op)))
+	}
+	return out
+}
+
+// constLoop handles the degenerate kernel where the comparison outcome is
+// the same for every row (an integer bound outside the column's value range):
+// the loads and branches are still simulated, only the compare is constant.
+func constLoop(c *cpu.CPU, site int, sel, out []int32, base, w uint64, ok bool) []int32 {
+	selLoads(c, sel, base, w)
+	for _, r := range sel {
+		c.CondBranch(site, !ok)
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// wideBoundPasses resolves a comparison of any int32-kind value against a
+// bound outside the int32 range.
+func wideBoundPasses(op CmpOp, bound int64) bool {
+	if bound > math.MaxInt32 {
+		return op == LE || op == LT // v <= huge, v < huge
+	}
+	return op == GE || op == GT // v >= -huge, v > -huge
+}
+
+// evalMask is the branch-free batch kernel: every row in [lo, hi) is loaded
+// and compared, and the outcome is ANDed into mask (no data-dependent
+// branches are retired). The ExtraCostInstr charge matches Eval's.
+func (p *Predicate) evalMask(c *cpu.CPU, lo, hi int, mask []bool) {
+	n := hi - lo
+	if p.ExtraCostInstr > 0 {
+		c.Exec(p.ExtraCostInstr * n)
+	}
+	base := p.Col.Base()
+	w := uint64(p.Col.Width())
+	// The whole vector is loaded unconditionally: one run-batched stream.
+	c.LoadSeq(base+uint64(lo)*w, int(w), n)
+	switch p.Col.Kind() {
+	case columnar.Float64:
+		maskLoop(lo, hi, mask, p.Col.F64(), p.Op, p.F)
+	case columnar.Int64:
+		maskLoop(lo, hi, mask, p.Col.I64(), p.Op, p.I)
+	default: // Int32, Date
+		if p.I > math.MaxInt32 || p.I < math.MinInt32 {
+			if !wideBoundPasses(p.Op, p.I) {
+				for i := range mask {
+					mask[i] = false
+				}
+			}
+			return
+		}
+		maskLoop(lo, hi, mask, p.Col.I32(), p.Op, int32(p.I))
+	}
+}
+
+// maskLoop is the monomorphic compare loop of the branch-free batch kernel
+// (loads were streamed by the caller).
+func maskLoop[T int32 | int64 | float64](lo, hi int, mask []bool, vals []T, op CmpOp, bound T) {
+	switch op {
+	case LE:
+		for r := lo; r < hi; r++ {
+			mask[r-lo] = mask[r-lo] && vals[r] <= bound
+		}
+	case LT:
+		for r := lo; r < hi; r++ {
+			mask[r-lo] = mask[r-lo] && vals[r] < bound
+		}
+	case GE:
+		for r := lo; r < hi; r++ {
+			mask[r-lo] = mask[r-lo] && vals[r] >= bound
+		}
+	case GT:
+		for r := lo; r < hi; r++ {
+			mask[r-lo] = mask[r-lo] && vals[r] > bound
+		}
+	case EQ:
+		for r := lo; r < hi; r++ {
+			mask[r-lo] = mask[r-lo] && vals[r] == bound
+		}
+	default:
+		panic(fmt.Sprintf("exec: unknown comparison %d", int(op)))
+	}
 }
 
 // TrueSelectivity scans the column directly (no simulation) and returns the

@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"fmt"
+
+	"progopt/internal/hw/cpu"
+	"progopt/internal/hw/pmu"
+)
+
+// Parallel executes queries with morsel-driven parallelism (Leis et al.,
+// "Morsel-driven parallelism", SIGMOD 2014) across N simulated cores. The
+// driving table is split into morsels of one vector each and the scheduler
+// dispenses the next morsel to whichever core is idle first in *simulated*
+// time (the core with the smallest cycle clock) — a discrete-event
+// simulation of the work-stealing queue, so cores that drew expensive
+// morsels automatically receive fewer of them, exactly the self-balancing
+// property morsel-driven execution is built for.
+//
+// All cores share one synthetic physical address space (columns are bound
+// once, by whichever CPU allocated them) but simulate private cache
+// hierarchies, branch predictors, and PMUs — the private-L1/L2 topology of
+// the paper's evaluation machine. Because scheduling runs on simulated
+// clocks rather than host threads, everything is deterministic: Qualifying
+// and Sum are bit-identical to a serial run (the aggregate is reduced in
+// global vector order), and cycle counts and PMU samples reproduce exactly
+// across runs and host machines.
+type Parallel struct {
+	workers    []*Engine
+	vectorSize int
+}
+
+// NewParallel builds a parallel executor with the given number of worker
+// cores, each a fresh CPU of the given profile.
+func NewParallel(prof cpu.Profile, workers, vectorSize int) (*Parallel, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("exec: non-positive worker count %d", workers)
+	}
+	if vectorSize <= 0 {
+		return nil, fmt.Errorf("exec: non-positive vector size %d", vectorSize)
+	}
+	ws := make([]*Engine, workers)
+	for i := range ws {
+		c, err := cpu.New(prof)
+		if err != nil {
+			return nil, err
+		}
+		e, err := NewEngine(c, vectorSize)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = e
+	}
+	return &Parallel{workers: ws, vectorSize: vectorSize}, nil
+}
+
+// Workers returns the number of simulated cores.
+func (p *Parallel) Workers() int { return len(p.workers) }
+
+// Engines exposes the per-core engines (shared slice; do not mutate).
+func (p *Parallel) Engines() []*Engine { return p.workers }
+
+// VectorSize returns tuples per vector (= per morsel).
+func (p *Parallel) VectorSize() int { return p.vectorSize }
+
+// SetScalar switches every worker between batch-kernel and tuple-at-a-time
+// execution.
+func (p *Parallel) SetScalar(scalar bool) {
+	for _, w := range p.workers {
+		w.SetScalar(scalar)
+	}
+}
+
+// Cold flushes caches and resets predictors on every core.
+func (p *Parallel) Cold() {
+	for _, w := range p.workers {
+		w.CPU().FlushCaches()
+		w.CPU().ResetPredictor()
+	}
+}
+
+// NumVectors returns how many vectors (morsels) cover the query's table.
+func (p *Parallel) NumVectors(q *Query) int {
+	return (q.Table.NumRows() + p.vectorSize - 1) / p.vectorSize
+}
+
+// BindQuery binds the query through worker 0's address space and starts all
+// cores cold. When the query was already bound by an external engine sharing
+// the address-space convention (the usual facade setup), binding is a no-op
+// and only the cold start applies.
+func (p *Parallel) BindQuery(q *Query) error {
+	if err := p.workers[0].BindQuery(q); err != nil {
+		return err
+	}
+	p.Cold()
+	return nil
+}
+
+// BlockResult reports one morsel block execution.
+type BlockResult struct {
+	// Qualifying and Sum are the block's query results, reduced in vector
+	// order (bit-identical to a serial run).
+	Qualifying int64
+	Sum        float64
+	// Vectors is the number of morsels executed.
+	Vectors int
+	// MaxCycles is the block makespan: the largest per-core cycle delta.
+	MaxCycles uint64
+	// WorkerCycles are the per-core cycle deltas.
+	WorkerCycles []uint64
+	// Counters is the PMU delta summed across cores — the aggregate a
+	// multi-core deployment reads by sampling every core's PMU.
+	Counters pmu.Sample
+}
+
+// RunBlock executes vectors [vecLo, vecHi) of the query morsel-driven: each
+// vector is one morsel, claimed by the core whose simulated clock is
+// furthest behind (ties go to the lowest core id).
+func (p *Parallel) RunBlock(q *Query, vecLo, vecHi int) (BlockResult, error) {
+	if err := q.Validate(); err != nil {
+		return BlockResult{}, err
+	}
+	n := q.Table.NumRows()
+	numVec := (n + p.vectorSize - 1) / p.vectorSize
+	if vecLo < 0 || vecHi > numVec || vecLo > vecHi {
+		return BlockResult{}, fmt.Errorf("exec: block [%d,%d) outside %d vectors", vecLo, vecHi, numVec)
+	}
+	nw := len(p.workers)
+	clocks := make([]uint64, nw)
+	startSamples := make([]pmu.Sample, nw)
+	for w, eng := range p.workers {
+		startSamples[w] = eng.CPU().Sample()
+	}
+	var out BlockResult
+	for v := vecLo; v < vecHi; v++ {
+		w := 0
+		for i := 1; i < nw; i++ {
+			if clocks[i] < clocks[w] {
+				w = i
+			}
+		}
+		eng := p.workers[w]
+		c := eng.CPU()
+		c0 := c.Cycles()
+		lo := v * p.vectorSize
+		hi := lo + p.vectorSize
+		if hi > n {
+			hi = n
+		}
+		vr, err := eng.RunVector(q, lo, hi)
+		if err != nil {
+			return BlockResult{}, err
+		}
+		clocks[w] += c.Cycles() - c0
+		out.Qualifying += vr.Qualifying
+		out.Sum += vr.Sum
+		out.Vectors++
+	}
+	out.WorkerCycles = clocks
+	for w, eng := range p.workers {
+		if clocks[w] > out.MaxCycles {
+			out.MaxCycles = clocks[w]
+		}
+		out.Counters = out.Counters.Add(eng.CPU().Sample().Sub(startSamples[w]))
+	}
+	return out, nil
+}
+
+// Run executes the whole table morsel-driven under the query's fixed
+// operator order. Result.Cycles is the makespan (the slowest core's cycle
+// count) and Result.Counters the merged per-core PMU deltas.
+func (p *Parallel) Run(q *Query) (Result, error) {
+	br, err := p.RunBlock(q, 0, p.NumVectors(q))
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Qualifying: br.Qualifying,
+		Sum:        br.Sum,
+		Vectors:    br.Vectors,
+		Cycles:     br.MaxCycles,
+		Counters:   br.Counters,
+	}
+	out.Millis = p.workers[0].CPU().MillisOf(out.Cycles)
+	return out, nil
+}

@@ -27,6 +27,12 @@ type Config struct {
 	PermSample int
 	// Quick shrinks data and sweep resolution for fast CI runs.
 	Quick bool
+	// Workers is the number of simulated cores measurements run on (default
+	// 1 = serial; >1 uses the morsel-driven scheduler and reports makespans).
+	Workers int
+	// ScalarExec forces the tuple-at-a-time row loop instead of the
+	// batch-kernel pipeline.
+	ScalarExec bool
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +156,7 @@ func All() []Experiment {
 		{"ext-enum", "Extension: enumerator-driven v. counter-driven optimizer", ExtEnum},
 		{"ext-micro", "Extension: micro-adaptive branching v. branch-free choice", ExtMicro},
 		{"ext-static", "Extension: static histogram optimizer v. progressive", ExtStatic},
+		{"ext-parallel", "Extension: morsel-driven multi-core scaling", ExtParallel},
 	}
 }
 

@@ -66,7 +66,7 @@ func ExtEnum(cfg Config) ([]*Report, error) {
 		},
 	}
 	for _, vs := range vectorSizes {
-		r, err := newRig(cpu.ScaledXeon(), vs)
+		r, err := newRig(cpu.ScaledXeon(), cfg.withVector(vs))
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +134,7 @@ func ExtMicro(cfg Config) ([]*Report, error) {
 				&exec.Predicate{Col: tb.Column("b"), Op: exec.LT, I: int64(s * 10)},
 			},
 		}
-		r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+		r, err := newRig(cpu.ScaledXeon(), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +198,7 @@ func ExtStatic(cfg Config) ([]*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+	r, err := newRig(cpu.ScaledXeon(), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -30,7 +30,7 @@ func Fig01(cfg Config) ([]*Report, error) {
 	if cfg.Quick {
 		sels = []float64{1e-4, 1e-2, 0.5}
 	}
-	r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+	r, err := newRig(cpu.ScaledXeon(), cfg)
 	if err != nil {
 		return nil, err
 	}

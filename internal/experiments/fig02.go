@@ -30,7 +30,7 @@ func Fig02(cfg Config) ([]*Report, error) {
 		step = 20
 	}
 
-	r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+	r, err := newRig(cpu.ScaledXeon(), cfg)
 	if err != nil {
 		return nil, err
 	}

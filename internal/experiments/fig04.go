@@ -29,7 +29,7 @@ func Fig04(cfg Config) ([]*Report, error) {
 	tb.MustAddColumn(columnar.NewInt64("a", datagen.UniformInt64(rng, n, 0, 999)))
 	tb.MustAddColumn(columnar.NewInt64("b", datagen.UniformInt64(rng, n, 0, 999)))
 
-	r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+	r, err := newRig(cpu.ScaledXeon(), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -46,7 +46,7 @@ func Fig06(cfg Config) ([]*Report, error) {
 	// One rig per architecture, reused across the sweep.
 	rigs := make(map[branch.Arch]*rig)
 	for _, a := range arches {
-		r, err := newRig(cpu.ForArch(a), cfg.VectorSize)
+		r, err := newRig(cpu.ForArch(a), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -23,7 +23,7 @@ func Fig11(cfg Config) ([]*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+	r, err := newRig(cpu.ScaledXeon(), cfg)
 	if err != nil {
 		return nil, err
 	}

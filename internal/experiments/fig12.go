@@ -39,7 +39,7 @@ func Fig12(cfg Config) ([]*Report, error) {
 	}
 	perms := samplePerms(exec.Permutations(4), permSample)
 
-	r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+	r, err := newRig(cpu.ScaledXeon(), cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -40,7 +40,7 @@ func Fig13(cfg Config) ([]*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+		r, err := newRig(cpu.ScaledXeon(), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -49,7 +49,7 @@ func Fig16(cfg Config) ([]*Report, error) {
 		}
 		q := &exec.Query{Table: tb, Ops: ops}
 
-		r, err := newRig(cpu.ScaledXeon(), cfg.VectorSize)
+		r, err := newRig(cpu.ScaledXeon(), cfg)
 		if err != nil {
 			return nil, err
 		}

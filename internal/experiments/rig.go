@@ -8,25 +8,45 @@ import (
 	"progopt/internal/hw/cpu"
 )
 
-// rig bundles one simulated CPU and engine for a sequence of measurements
+// rig bundles the simulated cores and engine for a sequence of measurements
 // over the same bound data set. Between measurements the caches are flushed
-// and the predictor reset, so every run starts cold, like the paper's
-// separately executed queries.
+// and the predictors reset, so every run starts cold, like the paper's
+// separately executed queries. The config's Workers and ScalarExec knobs
+// select the morsel-driven multi-core executor and the tuple-at-a-time row
+// loop respectively; measurements dispatch accordingly.
 type rig struct {
 	cpu *cpu.CPU
 	eng *exec.Engine
+	// par is the morsel-driven multi-core executor, nil when Workers <= 1.
+	par *exec.Parallel
 }
 
-func newRig(prof cpu.Profile, vectorSize int) (*rig, error) {
+func newRig(prof cpu.Profile, cfg Config) (*rig, error) {
 	c, err := cpu.New(prof)
 	if err != nil {
 		return nil, err
 	}
-	e, err := exec.NewEngine(c, vectorSize)
+	e, err := exec.NewEngine(c, cfg.VectorSize)
 	if err != nil {
 		return nil, err
 	}
-	return &rig{cpu: c, eng: e}, nil
+	e.SetScalar(cfg.ScalarExec)
+	r := &rig{cpu: c, eng: e}
+	if cfg.Workers > 1 {
+		par, err := exec.NewParallel(prof, cfg.Workers, cfg.VectorSize)
+		if err != nil {
+			return nil, err
+		}
+		par.SetScalar(cfg.ScalarExec)
+		r.par = par
+	}
+	return r, nil
+}
+
+// withVector returns the config with a different vector size (for sweeps).
+func (c Config) withVector(vs int) Config {
+	c.VectorSize = vs
+	return c
 }
 
 func (r *rig) bind(q *exec.Query) error {
@@ -37,6 +57,9 @@ func (r *rig) bind(q *exec.Query) error {
 func (r *rig) cold() {
 	r.cpu.FlushCaches()
 	r.cpu.ResetPredictor()
+	if r.par != nil {
+		r.par.Cold()
+	}
 }
 
 // measureBaseline runs q under the given operator permutation with the
@@ -47,6 +70,9 @@ func (r *rig) measureBaseline(q *exec.Query, perm []int) (exec.Result, error) {
 		return exec.Result{}, err
 	}
 	r.cold()
+	if r.par != nil {
+		return r.par.Run(qo)
+	}
 	return r.eng.Run(qo)
 }
 
@@ -58,6 +84,10 @@ func (r *rig) measureProgressive(q *exec.Query, perm []int, reopInt int) (exec.R
 		return exec.Result{}, core.Stats{}, err
 	}
 	r.cold()
+	if r.par != nil {
+		res, pst, err := core.RunParallelProgressive(r.par, qo, core.Options{ReopInterval: reopInt})
+		return res, pst.Stats, err
+	}
 	return core.RunProgressive(r.eng, qo, core.Options{ReopInterval: reopInt})
 }
 

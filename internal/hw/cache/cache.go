@@ -75,6 +75,9 @@ type Level struct {
 	stamps   []uint64 // LRU timestamps parallel to tags
 	clock    uint64
 	stats    Stats
+	// lastSlot is the tag-array index touched by the most recent Lookup hit
+	// or Insert, consumed by the hierarchy's same-line fast path.
+	lastSlot int
 }
 
 // NewLevel builds a cache level from its configuration.
@@ -121,11 +124,41 @@ func (l *Level) Lookup(addr uint64) bool {
 		if l.tags[base+w] == ln {
 			l.stamps[base+w] = l.clock
 			l.stats.Hits++
+			l.lastSlot = base + w
 			return true
 		}
 	}
 	l.stats.Misses++
 	return false
+}
+
+// LastSlot returns the tag-array index touched by the most recent Lookup hit
+// or Insert.
+func (l *Level) LastSlot() int { return l.lastSlot }
+
+// TouchLine re-references line ln known (from the immediately preceding
+// access) to reside at tag slot idx, with counter and LRU effects identical
+// to a hit Lookup: one clock tick, one access, one hit, an MRU stamp
+// refresh. It reports false — leaving all state untouched — if the slot no
+// longer holds the line, in which case the caller must fall back to Lookup.
+func (l *Level) TouchLine(idx int, ln uint64) bool {
+	return l.TouchLineN(idx, ln, 1)
+}
+
+// TouchLineN is TouchLine repeated n times in one step. Because no other
+// access intervenes, n sequential hit Lookups of the same line leave exactly
+// this state: the clock advanced n ticks, n accesses and n hits counted, and
+// the line stamped with the final clock value.
+func (l *Level) TouchLineN(idx int, ln uint64, n int) bool {
+	if n <= 0 || idx < 0 || idx >= len(l.tags) || l.tags[idx] != ln {
+		return false
+	}
+	l.clock += uint64(n)
+	l.stats.Accesses += uint64(n)
+	l.stats.Hits += uint64(n)
+	l.stamps[idx] = l.clock
+	l.lastSlot = idx
+	return true
 }
 
 // Contains reports whether the line holding addr is present, without touching
@@ -153,6 +186,7 @@ func (l *Level) Insert(addr uint64, prefetch bool) {
 		i := base + w
 		if l.tags[i] == ln { // already present; refresh
 			l.stamps[i] = l.clock
+			l.lastSlot = i
 			return
 		}
 		if l.tags[i] == 0 { // empty slot
@@ -166,6 +200,7 @@ func (l *Level) Insert(addr uint64, prefetch bool) {
 	_ = oldest
 	l.tags[victim] = ln
 	l.stamps[victim] = l.clock
+	l.lastSlot = victim
 	if prefetch {
 		l.stats.PrefetchInserts++
 	}

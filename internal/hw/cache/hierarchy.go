@@ -109,6 +109,15 @@ type Hierarchy struct {
 	lineShift          uint
 	l3PrefetchAccesses uint64
 	memAccesses        uint64
+	// lastLine (line id + 1; 0 = invalid) and lastSlot memoize the line of
+	// the immediately preceding demand load and its L1 tag slot. A repeat
+	// load of the same line is then a guaranteed L1-MRU hit — nothing but
+	// the demand load itself writes L1 — and takes an exact fast path that
+	// replicates a hit Lookup's counter and LRU effects without the
+	// associative search. Batch kernels stream columns op-major, so their
+	// sequential loads repeat lines back to back and ride this path.
+	lastLine uint64
+	lastSlot int
 }
 
 // NewHierarchy builds a hierarchy from its configuration.
@@ -141,6 +150,9 @@ func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 // LineSize returns the cache-line size in bytes.
 func (h *Hierarchy) LineSize() int { return h.cfg.L1.LineSize }
 
+// LineShift returns log2(LineSize), the byte-address-to-line-id shift.
+func (h *Hierarchy) LineShift() uint { return h.lineShift }
+
 // Load performs a demand load of the line containing addr and returns where
 // it hit. Fills are inclusive (a miss installs the line in every level above
 // the hit level). The streamer observes all demand traffic reaching L2 (that
@@ -148,6 +160,19 @@ func (h *Hierarchy) LineSize() int { return h.cfg.L1.LineSize }
 // access slot per prefetch request — so the exposed L3-access count is the
 // paper's counter: demand L2-misses plus prefetcher requests.
 func (h *Hierarchy) Load(addr uint64) AccessResult {
+	ln := (addr >> h.lineShift) + 1
+	if ln == h.lastLine && h.l1.TouchLine(h.lastSlot, ln) {
+		return AccessResult{Level: HitL1, LatencyCycles: h.cfg.L1.LatencyCycles}
+	}
+	res := h.loadSlow(addr)
+	h.lastLine = ln
+	h.lastSlot = h.l1.LastSlot()
+	return res
+}
+
+// loadSlow is the full lookup-and-fill path; after it returns, the demand
+// line is L1-resident at l1.LastSlot() as the MRU of its set.
+func (h *Hierarchy) loadSlow(addr uint64) AccessResult {
 	if h.l1.Lookup(addr) {
 		return AccessResult{Level: HitL1, LatencyCycles: h.cfg.L1.LatencyCycles}
 	}
@@ -169,8 +194,7 @@ func (h *Hierarchy) Load(addr uint64) AccessResult {
 		h.l1.Insert(addr, false)
 		return AccessResult{Level: HitL2, LatencyCycles: h.cfg.L2.LatencyCycles}
 	}
-	hit := h.l3.Lookup(addr)
-	if hit {
+	if h.l3.Lookup(addr) {
 		h.l2.Insert(addr, false)
 		h.l1.Insert(addr, false)
 		return AccessResult{Level: HitL3, LatencyCycles: h.cfg.L3.LatencyCycles}
@@ -180,6 +204,17 @@ func (h *Hierarchy) Load(addr uint64) AccessResult {
 	h.l2.Insert(addr, false)
 	h.l1.Insert(addr, false)
 	return AccessResult{Level: HitMem, LatencyCycles: h.cfg.MemLatencyCycles}
+}
+
+// TouchRepeat records n further demand loads of the line hit by the
+// immediately preceding Load — guaranteed L1-MRU repeats — with effects
+// identical to n Load calls of that address. It reports false (no state
+// touched) when no valid memo exists; the caller then falls back to Load.
+func (h *Hierarchy) TouchRepeat(n int) bool {
+	if h.lastLine == 0 {
+		return false
+	}
+	return h.l1.TouchLineN(h.lastSlot, h.lastLine, n)
 }
 
 // Counters returns a snapshot of all event counts.
@@ -199,6 +234,7 @@ func (h *Hierarchy) Flush() {
 	h.l2.Flush()
 	h.l3.Flush()
 	h.pf.Reset()
+	h.lastLine = 0
 }
 
 // ResetCounters zeroes all event counts; cache contents are preserved.

@@ -129,6 +129,74 @@ func (c *CPU) CondBranch(site int, taken bool) branch.Outcome {
 	return out
 }
 
+// LoadSeq performs n demand loads at start, start+stride, ... — a batch
+// kernel streaming a column. Counter, cache, and stall effects are exactly
+// those of n Load calls: accesses within one cache line after the first are
+// guaranteed L1-MRU hits (nothing else touches the caches in between), so
+// they are accounted in one batched step instead of n full lookups.
+func (c *CPU) LoadSeq(start uint64, stride, n int) {
+	shift := c.mem.LineShift()
+	for i := 0; i < n; {
+		addr := start + uint64(i)*uint64(stride)
+		line := addr >> shift
+		j := i + 1
+		for j < n && (start+uint64(j)*uint64(stride))>>shift == line {
+			j++
+		}
+		c.Load(addr)
+		if rep := j - i - 1; rep > 0 {
+			if c.mem.TouchRepeat(rep) {
+				// L1 hits: retired instructions only, latency hidden, no stall.
+				c.instructions += uint64(rep)
+			} else {
+				for k := 0; k < rep; k++ { // fallback; unreachable after a Load
+					c.Load(addr)
+				}
+			}
+		}
+		i = j
+	}
+}
+
+// LoadSel performs one demand load per selected row of a column at base with
+// the given stride — a batch kernel gathering survivors. Effects are exactly
+// those of per-row Load calls: runs of rows sharing one cache line are
+// guaranteed L1-MRU repeats after the run's first load and are accounted in
+// one batched step.
+func (c *CPU) LoadSel(base uint64, stride int, rows []int32) {
+	shift := c.mem.LineShift()
+	n := len(rows)
+	for i := 0; i < n; {
+		addr := base + uint64(rows[i])*uint64(stride)
+		line := addr >> shift
+		j := i + 1
+		for j < n && (base+uint64(rows[j])*uint64(stride))>>shift == line {
+			j++
+		}
+		c.Load(addr)
+		if rep := j - i - 1; rep > 0 {
+			if c.mem.TouchRepeat(rep) {
+				// L1 hits: retired instructions only, latency hidden, no stall.
+				c.instructions += uint64(rep)
+			} else {
+				for k := i + 1; k < j; k++ { // fallback; unreachable after a Load
+					c.Load(base + uint64(rows[k])*uint64(stride))
+				}
+			}
+		}
+		i = j
+	}
+}
+
+// CondBranchN retires n identical conditional branches at the given site
+// (the batch engine's loop back-edge). Counter and predictor effects are
+// exactly those of calling CondBranch n times.
+func (c *CPU) CondBranchN(site int, taken bool, n int) {
+	for i := 0; i < n; i++ {
+		c.CondBranch(site, taken)
+	}
+}
+
 // Exec retires n plain ALU instructions.
 func (c *CPU) Exec(n int) {
 	if n > 0 {

@@ -196,3 +196,6 @@ type fakeOp struct{}
 func (f *fakeOp) Name() string                { return "fake" }
 func (f *fakeOp) Width() int                  { return 8 }
 func (f *fakeOp) Eval(_ *cpu.CPU, _ int) bool { return true }
+func (f *fakeOp) EvalBatch(_ *cpu.CPU, _ int, sel, out []int32) []int32 {
+	return append(out, sel...)
+}

@@ -34,13 +34,27 @@ type Config struct {
 	Arch Arch
 	// DisablePrefetch turns the simulated L2 streamer off.
 	DisablePrefetch bool
+	// Workers is the number of simulated cores executing queries with the
+	// morsel-driven scheduler (default 1 = serial). Run and RunProgressive
+	// honor it, reporting the makespan (slowest core) and the PMU counters
+	// merged across cores, with results bit-identical across worker counts;
+	// RunMicroAdaptive and RunGroupBy always execute on a single core.
+	Workers int
+	// ScalarExec forces the seed's tuple-at-a-time row loop instead of the
+	// batch-kernel pipeline (for comparison; PMU load/branch counts and
+	// results are identical either way).
+	ScalarExec bool
 }
 
-// Engine is the public facade: a simulated core plus the vectorized query
-// engine and the progressive optimizer.
+// Engine is the public facade: one or more simulated cores plus the
+// vectorized query engine and the progressive optimizer.
 type Engine struct {
 	cpu *cpu.CPU
 	eng *exec.Engine
+	// par is the morsel-driven multi-core executor, nil when Workers <= 1.
+	par     *exec.Parallel
+	workers int
+	scalar  bool
 }
 
 // New builds an Engine.
@@ -63,8 +77,24 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cpu: c, eng: e}, nil
+	e.SetScalar(cfg.ScalarExec)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	var par *exec.Parallel
+	if workers > 1 {
+		par, err = exec.NewParallel(prof, workers, cfg.VectorSize)
+		if err != nil {
+			return nil, err
+		}
+		par.SetScalar(cfg.ScalarExec)
+	}
+	return &Engine{cpu: c, eng: e, par: par, workers: workers, scalar: cfg.ScalarExec}, nil
 }
+
+// Workers returns the number of simulated cores the engine runs queries on.
+func (e *Engine) Workers() int { return e.workers }
 
 // Ordering selects the physical row order of a generated TPC-H data set.
 type Ordering string
@@ -273,8 +303,18 @@ func toResult(r exec.Result) Result {
 }
 
 // Run executes the query with a fixed operator order (the baseline "common
-// execution pattern") from a cold hardware state.
+// execution pattern") from a cold hardware state. With Workers > 1 the
+// driving table is consumed as morsels by all cores; the result's Cycles and
+// Millis are the makespan and Counters the merged per-core PMU deltas.
 func (e *Engine) Run(q *Query) (Result, error) {
+	if e.par != nil {
+		e.par.Cold()
+		r, err := e.par.Run(q.q)
+		if err != nil {
+			return Result{}, err
+		}
+		return toResult(r), nil
+	}
 	e.cpu.FlushCaches()
 	e.cpu.ResetPredictor()
 	r, err := e.eng.Run(q.q)
@@ -304,17 +344,35 @@ type Stats struct {
 }
 
 // RunProgressive executes the query with progressive re-optimization from a
-// cold hardware state.
+// cold hardware state. With Workers > 1 re-optimization runs at morsel-block
+// granularity: every block spans Interval vectors per core, the per-core PMU
+// deltas are merged, and the estimator inverts the cost models over the
+// aggregate (see core.RunParallelProgressive).
 func (e *Engine) RunProgressive(q *Query, p Progressive) (Result, Stats, error) {
 	if p.Interval <= 0 {
 		p.Interval = 10
 	}
-	e.cpu.FlushCaches()
-	e.cpu.ResetPredictor()
-	r, st, err := core.RunProgressive(e.eng, q.q, core.Options{
+	opts := core.Options{
 		ReopInterval:      p.Interval,
 		DisableValidation: p.DisableValidation,
-	})
+	}
+	if e.par != nil {
+		e.par.Cold()
+		r, st, err := core.RunParallelProgressive(e.par, q.q, opts)
+		if err != nil {
+			return Result{}, Stats{}, err
+		}
+		return toResult(r), Stats{
+			Optimizations: st.Optimizations,
+			Reorders:      st.Reorders,
+			Reverts:       st.Reverts,
+			FinalOrder:    st.FinalOrder,
+			LastEstimate:  st.LastEstimate,
+		}, nil
+	}
+	e.cpu.FlushCaches()
+	e.cpu.ResetPredictor()
+	r, st, err := core.RunProgressive(e.eng, q.q, opts)
 	if err != nil {
 		return Result{}, Stats{}, err
 	}
@@ -339,6 +397,9 @@ type MicroAdaptiveStats struct {
 // micro-adaptive implementation choice: each optimization cycle also decides
 // whether upcoming vectors run the branching (short-circuiting) or the
 // branch-free (predicated) scan, from the counter-estimated selectivities.
+// Unlike Run and RunProgressive it always executes on a single simulated
+// core, ignoring Config.Workers — do not compare its cycle counts against
+// multi-core makespans.
 func (e *Engine) RunMicroAdaptive(q *Query, p Progressive) (Result, MicroAdaptiveStats, error) {
 	if p.Interval <= 0 {
 		p.Interval = 10

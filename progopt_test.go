@@ -219,7 +219,7 @@ func TestRunMicroAdaptiveFacade(t *testing.T) {
 
 func TestRunExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 17 { // 14 paper figures + 3 extensions
+	if len(ids) != 18 { // 14 paper figures + 4 extensions
 		t.Fatalf("%d experiment ids", len(ids))
 	}
 	tables, err := RunExperiment("fig07", true)
@@ -231,5 +231,60 @@ func TestRunExperimentFacade(t *testing.T) {
 	}
 	if _, err := RunExperiment("fig99", true); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestWorkersFacade(t *testing.T) {
+	run := func(cfg Config) (Result, Result, Stats) {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := e.GenerateTPCH(30000, 3, OrderNatural)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := e.BuildQ6(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := e.Run(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, st, err := e.RunProgressive(q, Progressive{Interval: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base, prog, st
+	}
+	serialBase, serialProg, _ := run(Config{VectorSize: 1024})
+	parBase, parProg, st := run(Config{VectorSize: 1024, Workers: 4})
+	if parBase.Qualifying != serialBase.Qualifying || parBase.Sum != serialBase.Sum {
+		t.Errorf("parallel base result %d/%v, serial %d/%v",
+			parBase.Qualifying, parBase.Sum, serialBase.Qualifying, serialBase.Sum)
+	}
+	if parProg.Qualifying != serialProg.Qualifying || parProg.Sum != serialProg.Sum {
+		t.Errorf("parallel progressive result %d/%v, serial %d/%v",
+			parProg.Qualifying, parProg.Sum, serialProg.Qualifying, serialProg.Sum)
+	}
+	if parBase.Cycles >= serialBase.Cycles {
+		t.Errorf("4-core makespan %d not below serial %d", parBase.Cycles, serialBase.Cycles)
+	}
+	if st.Optimizations == 0 {
+		t.Error("parallel progressive never optimized")
+	}
+
+	scalarBase, _, _ := run(Config{VectorSize: 1024, ScalarExec: true})
+	if scalarBase.Qualifying != serialBase.Qualifying || scalarBase.Sum != serialBase.Sum {
+		t.Errorf("scalar mode result %d/%v, batch %d/%v",
+			scalarBase.Qualifying, scalarBase.Sum, serialBase.Qualifying, serialBase.Sum)
+	}
+	e, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() != 2 {
+		t.Errorf("Workers() = %d", e.Workers())
 	}
 }

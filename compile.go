@@ -1,0 +1,260 @@
+package progopt
+
+import (
+	"fmt"
+	"strings"
+
+	"progopt/internal/columnar"
+	"progopt/internal/exec"
+	"progopt/internal/tpch"
+)
+
+// groupExec is a compiled grouped aggregation: the group/value columns plus
+// the hash tables reserved in the engine's address space — one per simulated
+// core, so a parallel run updates per-core partial tables.
+type groupExec struct {
+	key, value string
+	// distinct is the compile-time key-domain estimate the tables are sized
+	// for.
+	distinct int
+	// tables holds one hash-table region per core (a single entry on a
+	// serial engine).
+	tables []*exec.GroupBy
+}
+
+// Compile validates the plan against the data set, binds its columns into
+// the engine's address space, and returns an executable query. Validation
+// covers: driving-table membership of every filter and aggregate column
+// (cross-table predicates are rejected — a predicate on an orders or part
+// column would index the shorter build-side column with driving-table row
+// ids), bound types against column kinds, join build tables and filter
+// selectivities, and group-key domains (the grouped-aggregation hash table
+// is sized from the key column's actual min/max, scanned here).
+func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
+	if d == nil {
+		return nil, fmt.Errorf("progopt: Compile needs a data set")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("progopt: Compile needs a plan")
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	driving, err := drivingTable(d, p.table)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.steps) == 0 {
+		return nil, fmt.Errorf("progopt: plan needs at least one operator")
+	}
+	if p.sum != "" && p.group != nil {
+		return nil, fmt.Errorf("progopt: plan has both Sum and GroupBy; a grouped plan sums its value column")
+	}
+
+	ops := make([]exec.Op, 0, len(p.steps))
+	for _, step := range p.steps {
+		var op exec.Op
+		switch step.kind {
+		case stepFilter:
+			op, err = e.compileFilter(d, driving, step)
+		case stepJoin:
+			op, err = e.compileJoin(d, step)
+		default:
+			err = fmt.Errorf("progopt: unknown plan step kind %d", step.kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+
+	q := &exec.Query{Table: driving, Ops: ops}
+	if p.sum != "" {
+		agg, err := compileSum(driving, p.sum)
+		if err != nil {
+			return nil, err
+		}
+		q.Agg = agg
+	}
+	if err := e.eng.BindQuery(q); err != nil {
+		return nil, err
+	}
+
+	out := &Query{q: q, sumExpr: p.sum}
+	if p.group != nil {
+		ge, err := e.compileGroup(driving, p.group.key, p.group.value)
+		if err != nil {
+			return nil, err
+		}
+		out.group = ge
+	}
+	return out, nil
+}
+
+// drivingTable resolves the plan's table name. Only lineitem can drive a
+// scan: orders and part are build sides, reachable through Join.
+func drivingTable(d *Dataset, name string) (*columnar.Table, error) {
+	switch name {
+	case "", "lineitem":
+		return d.d.Lineitem, nil
+	case "orders", "part":
+		return nil, fmt.Errorf("progopt: table %q cannot drive a scan (build side only; join into it from lineitem)", name)
+	default:
+		return nil, fmt.Errorf("progopt: unknown table %q", name)
+	}
+}
+
+// compileFilter resolves one filter step into a bound predicate.
+func (e *Engine) compileFilter(d *Dataset, driving *columnar.Table, step planStep) (exec.Op, error) {
+	col := driving.Column(step.col)
+	if col == nil {
+		// Distinguish a typo from a cross-table predicate for the error.
+		for _, t := range []*columnar.Table{d.d.Orders, d.d.Part} {
+			if t.Column(step.col) != nil {
+				return nil, fmt.Errorf(
+					"progopt: filter column %q belongs to %q, not the driving table %q (cross-table predicates would read build-side columns with driving-table row ids; use Join)",
+					step.col, t.Name(), driving.Name())
+			}
+		}
+		return nil, fmt.Errorf("progopt: unknown column %q in %q", step.col, driving.Name())
+	}
+	op, err := cmpOf(step.op)
+	if err != nil {
+		return nil, err
+	}
+	pred := &exec.Predicate{Col: col, Op: op, ExtraCostInstr: step.extraCost, Label: step.label}
+	isFloat := col.Kind() == columnar.Float64
+	switch step.bound {
+	case boundInt:
+		if isFloat {
+			return nil, fmt.Errorf("progopt: filter on float column %q needs a float bound, got integer %d", step.col, step.i)
+		}
+		pred.I = step.i
+	case boundFloat:
+		if !isFloat {
+			return nil, fmt.Errorf("progopt: filter on %s column %q needs an integer bound, got float %v", col.Kind(), step.col, step.f)
+		}
+		pred.F = step.f
+	case boundLegacy:
+		pred.I, pred.F = step.i, step.f
+	default:
+		return nil, fmt.Errorf("progopt: unknown bound kind %d", step.bound)
+	}
+	return pred, nil
+}
+
+// compileJoin resolves one join step into a bound foreign-key join with a
+// build-side filter of the requested selectivity.
+func (e *Engine) compileJoin(d *Dataset, step planStep) (exec.Op, error) {
+	if step.filterSel <= 0 || step.filterSel > 1 {
+		return nil, fmt.Errorf("progopt: join filter selectivity %v outside (0,1]", step.filterSel)
+	}
+	label := step.label
+	switch step.build {
+	case "orders":
+		if label == "" {
+			label = "join-orders"
+		}
+		cut := tpch.QuantileInt32(d.d.Orders.Column("o_orderdate"), step.filterSel)
+		filter := &exec.Predicate{Col: d.d.Orders.Column("o_orderdate"), Op: exec.LE, I: int64(cut)}
+		return exec.NewFKJoin(e.cpu, d.d.Lineitem.Column("l_orderkey"), d.d.NumOrders, filter, label)
+	case "part":
+		if label == "" {
+			label = "join-part"
+		}
+		cut := int64(50 * step.filterSel)
+		filter := &exec.Predicate{Col: d.d.Part.Column("p_size"), Op: exec.LE, I: cut}
+		return exec.NewFKJoin(e.cpu, d.d.Lineitem.Column("l_partkey"), d.d.NumParts, filter, label)
+	default:
+		return nil, fmt.Errorf("progopt: unknown build table %q", step.build)
+	}
+}
+
+// compileSum parses an aggregate expression — a numeric column name or a
+// product of two — and resolves it against the driving table.
+func compileSum(driving *columnar.Table, expr string) (*exec.Aggregate, error) {
+	parts := strings.Split(expr, "*")
+	cols := make([]*columnar.Column, 0, len(parts))
+	for _, part := range parts {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			return nil, fmt.Errorf("progopt: malformed aggregate expression %q", expr)
+		}
+		col := driving.Column(name)
+		if col == nil {
+			return nil, fmt.Errorf("progopt: unknown aggregate column %q in %q", name, driving.Name())
+		}
+		cols = append(cols, col)
+	}
+	var f func(row int) float64
+	switch len(cols) {
+	case 1:
+		c := cols[0]
+		f = func(row int) float64 { return c.Float64At(row) }
+	case 2:
+		a, b := cols[0], cols[1]
+		f = func(row int) float64 { return a.Float64At(row) * b.Float64At(row) }
+	default:
+		return nil, fmt.Errorf("progopt: aggregate expression %q has %d factors; 1 or 2 supported", expr, len(cols))
+	}
+	return &exec.Aggregate{Cols: cols, F: f}, nil
+}
+
+// compileGroup validates the grouped aggregation, scans the key column's
+// domain to size the hash tables, and reserves one table per core.
+func (e *Engine) compileGroup(driving *columnar.Table, key, value string) (*groupExec, error) {
+	g := driving.Column(key)
+	v := driving.Column(value)
+	if g == nil || v == nil {
+		return nil, fmt.Errorf("progopt: unknown column %q or %q in %q", key, value, driving.Name())
+	}
+	distinct, err := keyDomain(g)
+	if err != nil {
+		return nil, err
+	}
+	nTables := 1
+	if e.par != nil {
+		nTables = e.par.Workers()
+	}
+	ge := &groupExec{key: key, value: value, distinct: distinct, tables: make([]*exec.GroupBy, nTables)}
+	for i := range ge.tables {
+		gb, err := exec.NewGroupBy(e.cpu, g, v, distinct)
+		if err != nil {
+			return nil, err
+		}
+		ge.tables[i] = gb
+	}
+	return ge, nil
+}
+
+// keyDomain scans the group-key column and returns its domain width
+// max-min+1 bounded by the row count — the expected distinct-group count the
+// hash tables are sized for. A domain-sized table keeps the multiplicative
+// hash collision-free for dense keys; sizing from row count alone (or a
+// hard-coded constant) collides pathologically on wide domains.
+func keyDomain(c *columnar.Column) (int, error) {
+	n := c.Len()
+	if n == 0 {
+		return 0, fmt.Errorf("progopt: group column %q is empty", c.Name())
+	}
+	switch c.Kind() {
+	case columnar.Int64, columnar.Int32, columnar.Date:
+	default:
+		return 0, fmt.Errorf("progopt: group column %q must be integer-kind, is %v", c.Name(), c.Kind())
+	}
+	min, max := c.Int64At(0), c.Int64At(0)
+	for i := 1; i < n; i++ {
+		v := c.Int64At(i)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	domain := max - min + 1
+	if domain <= 0 || domain > int64(n) {
+		return n, nil
+	}
+	return int(domain), nil
+}

@@ -13,21 +13,41 @@
 // selectivity estimator with search-space restriction, and the progressive
 // reorder-validate-revert loop — is the paper's machinery, unchanged.
 //
-// Queries execute as batch kernels over selection vectors (Config.ScalarExec
-// restores the tuple-at-a-time row loop; results and PMU load/branch counts
-// are identical either way), and Config.Workers > 1 runs the scan
-// morsel-driven across multiple simulated cores with deterministic makespans
-// and per-core counters merged for the optimizer. See DESIGN.md.
-//
 // # Quick start
+//
+// Queries are declared as composable plans, compiled against a data set,
+// and executed through one entry point:
 //
 //	eng, err := progopt.New(progopt.Config{})
 //	if err != nil { ... }
 //	ds, err := eng.GenerateTPCH(1_000_000, 42, progopt.OrderNatural)
-//	q, err := eng.BuildQ6(ds)
-//	baseline, err := eng.Run(q)                             // fixed PEO
-//	adaptive, stats, err := eng.RunProgressive(q, progopt.Progressive{Interval: 10})
-//	fmt.Printf("%.1fx faster, %d reorders\n", baseline.Millis/adaptive.Millis, stats.Reorders)
+//	q, err := eng.Compile(ds, progopt.Scan("lineitem").
+//		Filter("l_shipdate", progopt.CmpLE, int64(ds.ShipdateCutoff(0.5))).
+//		Filter("l_discount", progopt.CmpGE, 0.05).
+//		Filter("l_quantity", progopt.CmpLT, 24).
+//		Sum("l_extendedprice * l_discount"))
+//	baseline, err := eng.Exec(q, progopt.ExecOptions{Mode: progopt.ModeFixed})
+//	adaptive, err := eng.Exec(q, progopt.ExecOptions{
+//		Mode:        progopt.ModeProgressive,
+//		Progressive: progopt.Progressive{Interval: 10},
+//	})
+//	fmt.Printf("%.1fx faster, %d reorders\n",
+//		baseline.Millis/adaptive.Millis, adaptive.Stats.Reorders)
+//
+// Plans compose filters (Filter/FilterCost), foreign-key joins (Join), a
+// sum aggregate (Sum), or a grouped aggregation (GroupBy); Compile validates
+// every column, bound, and selectivity against the data set — including
+// rejecting predicates on build-side tables, which must be reached through
+// Join. Exec drives every execution shape: ModeFixed, ModeProgressive, and
+// ModeMicroAdaptive all honor Config.Workers (morsel-driven multi-core
+// scans with makespan cycle counts and merged PMU counters), and grouped
+// plans aggregate with per-core partial hash tables merged at the barrier.
+// Results are bit-identical across modes, worker counts, and
+// Config.ScalarExec (the tuple-at-a-time ablation).
+//
+// The former per-shape methods (BuildQ6, BuildScan, BuildPipeline, Run,
+// RunProgressive, RunMicroAdaptive, RunGroupBy) remain as deprecated thin
+// wrappers over Compile/Exec; see DESIGN.md for the migration table.
 //
 // See the examples/ directory for runnable programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology and per-figure results.

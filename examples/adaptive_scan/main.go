@@ -1,8 +1,8 @@
-// Adaptive scan: the paper's headline experiment in miniature. Execute Q6
-// under every one of a set of initial predicate orders, with and without
-// progressive optimization, on sorted data whose optimal order changes
-// mid-scan (§5.4). Progressive optimization flattens the runtime across
-// initial orders — robustness is the point, not just peak speed.
+// Adaptive scan: the paper's headline experiment in miniature. Execute a
+// Q6-style plan under every one of a set of initial predicate orders, with
+// and without progressive optimization, on sorted data whose optimal order
+// changes mid-scan (§5.4). Progressive optimization flattens the runtime
+// across initial orders — robustness is the point, not just peak speed.
 package main
 
 import (
@@ -21,7 +21,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	q, err := eng.BuildQ6(ds)
+	// Q6's five atomic comparisons, declared as one plan.
+	q, err := eng.Compile(ds, progopt.Scan("lineitem").
+		Filter("l_shipdate", progopt.CmpGE, int64(ds.ShipdateCutoff(0.2))).Label("ship>=p20").
+		Filter("l_shipdate", progopt.CmpLT, int64(ds.ShipdateCutoff(0.6))).Label("ship<p60").
+		Filter("l_discount", progopt.CmpGE, 0.05).
+		Filter("l_discount", progopt.CmpLE, 0.07).
+		Filter("l_quantity", progopt.CmpLT, 24).
+		Sum("l_extendedprice * l_discount"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,11 +49,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		base, err := eng.Run(qo)
+		base, err := eng.Exec(qo, progopt.ExecOptions{Mode: progopt.ModeFixed})
 		if err != nil {
 			log.Fatal(err)
 		}
-		prog, _, err := eng.RunProgressive(qo, progopt.Progressive{Interval: 10})
+		prog, err := eng.Exec(qo, progopt.ExecOptions{
+			Mode:        progopt.ModeProgressive,
+			Progressive: progopt.Progressive{Interval: 10},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,8 @@
-// Quickstart: run TPC-H Q6 with and without progressive optimization and
-// compare. The engine executes on a simulated Ivy Bridge core whose PMU
-// counters drive mid-query re-optimization of the predicate order.
+// Quickstart: declare a TPC-H Q6-style plan with the composable builder,
+// compile it, and execute it through the unified Exec entry point — first
+// with a fixed operator order, then with counter-driven progressive
+// re-optimization. The engine executes on a simulated Ivy Bridge core whose
+// PMU counters drive mid-query re-optimization of the predicate order.
 package main
 
 import (
@@ -23,34 +25,47 @@ func main() {
 		log.Fatal(err)
 	}
 
-	q, err := eng.BuildQ6(ds)
+	// A Q6-style revenue query, declared as a plan: chainable filters over
+	// the driving table plus a sum aggregate. Compile validates every column
+	// and bound against the data set and binds the plan into the simulated
+	// address space.
+	q, err := eng.Compile(ds, progopt.Scan("lineitem").
+		Filter("l_shipdate", progopt.CmpLE, int64(ds.ShipdateCutoff(0.5))).
+		Filter("l_discount", progopt.CmpGE, 0.05).
+		Filter("l_discount", progopt.CmpLE, 0.07).
+		Filter("l_quantity", progopt.CmpLT, 24).
+		Sum("l_extendedprice * l_discount"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Q6 predicates:", q.OpNames())
+	fmt.Println("predicates:", q.OpNames())
 
 	// Deliberately bad initial order: reverse of the written order.
-	bad, err := q.WithOrder([]int{4, 3, 2, 1, 0})
+	bad, err := q.WithOrder([]int{3, 2, 1, 0})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	baseline, err := eng.Run(bad)
+	baseline, err := eng.Exec(bad, progopt.ExecOptions{Mode: progopt.ModeFixed})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("baseline (fixed bad order):  %8.2f ms, revenue=%.2f, rows=%d\n",
 		baseline.Millis, baseline.Sum, baseline.Qualifying)
 
-	adaptive, stats, err := eng.RunProgressive(bad, progopt.Progressive{Interval: 10})
+	adaptive, err := eng.Exec(bad, progopt.ExecOptions{
+		Mode:        progopt.ModeProgressive,
+		Progressive: progopt.Progressive{Interval: 10},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("progressive (reopt every 10): %7.2f ms, revenue=%.2f, rows=%d\n",
 		adaptive.Millis, adaptive.Sum, adaptive.Qualifying)
 	fmt.Printf("speedup %.2fx with %d optimizations, %d reorders, %d reverts\n",
-		baseline.Millis/adaptive.Millis, stats.Optimizations, stats.Reorders, stats.Reverts)
-	fmt.Printf("final predicate order: %v\n", stats.FinalOrder)
+		baseline.Millis/adaptive.Millis,
+		adaptive.Stats.Optimizations, adaptive.Stats.Reorders, adaptive.Stats.Reverts)
+	fmt.Printf("final predicate order: %v\n", adaptive.Stats.FinalOrder)
 	fmt.Printf("PMU: %d branches not taken, %d mispredictions, %d L3 accesses\n",
 		adaptive.Counters["br_not_taken"], adaptive.Counters["br_mp"], adaptive.Counters["l3_access"])
 }

@@ -25,10 +25,9 @@ func main() {
 	}
 
 	cutoff := ds.ShipdateCutoff(0.5) // global selectivity 50%
-	q, err := eng.BuildScan(ds, []progopt.Predicate{
-		{Column: "l_shipdate", Op: progopt.CmpLE, Int: int64(cutoff)},
-		{Column: "l_quantity", Op: progopt.CmpLT, Int: 24},
-	}, false)
+	q, err := eng.Compile(ds, progopt.Scan("lineitem").
+		Filter("l_shipdate", progopt.CmpLE, int64(cutoff)).
+		Filter("l_quantity", progopt.CmpLT, 24))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,11 +47,14 @@ func main() {
 
 	// Run the full query progressively and show how often the optimizer
 	// reacted to the drifting selectivity.
-	res, stats, err := eng.RunProgressive(q, progopt.Progressive{Interval: 5})
+	res, err := eng.Exec(q, progopt.ExecOptions{
+		Mode:        progopt.ModeProgressive,
+		Progressive: progopt.Progressive{Interval: 5},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nprogressive run: %.2f ms, %d rows, %d optimizations, %d reorders (%d reverted)\n",
-		res.Millis, res.Qualifying, stats.Optimizations, stats.Reorders, stats.Reverts)
-	fmt.Printf("final selectivity estimate per position: %.3v\n", stats.LastEstimate)
+		res.Millis, res.Qualifying, res.Stats.Optimizations, res.Stats.Reorders, res.Stats.Reverts)
+	fmt.Printf("final selectivity estimate per position: %.3v\n", res.Stats.LastEstimate)
 }

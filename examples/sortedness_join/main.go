@@ -22,12 +22,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	preds := []progopt.Predicate{{
-		Column: "l_quantity", Op: progopt.CmpLE, Int: 25,
-		ExtraCostInstr: 40, // models a string match / UDF
-	}}
-	joins := []progopt.JoinSpec{{Build: "orders", FilterSelectivity: 0.5}}
-
 	windows := []struct {
 		label string
 		w     int
@@ -43,11 +37,16 @@ func main() {
 	fmt.Println("---------------------------------------------------------------------")
 	for _, win := range windows {
 		ds := base.ShuffleWindow(win.w, int64(win.w))
-		q, err := eng.BuildPipeline(ds, preds, joins)
+		// One expensive predicate (FilterCost models a string match / UDF)
+		// followed by an FK join into orders with a 50%-selective build
+		// filter — declared as one plan, reordered freely by WithOrder.
+		q, err := eng.Compile(ds, progopt.Scan("lineitem").
+			FilterCost("l_quantity", progopt.CmpLE, 25, 40).
+			Join("orders", 0.5))
 		if err != nil {
 			log.Fatal(err)
 		}
-		selFirst, err := eng.Run(q)
+		selFirst, err := eng.Exec(q, progopt.ExecOptions{Mode: progopt.ModeFixed})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -37,6 +37,14 @@ type PlanExplain struct {
 	// engine will use for the scan.
 	Exec    string
 	Workers int
+	// Sum is the plan's aggregate expression ("" = none).
+	Sum string
+	// Group describes the grouped aggregation as "key, value" ("" = none);
+	// GroupTables is the number of per-core partial hash tables it compiled
+	// to and GroupDistinct the key-domain estimate they are sized for.
+	Group         string
+	GroupTables   int
+	GroupDistinct int
 	// Ops describes the operators in evaluation order.
 	Ops []OpExplain
 	// PredictedBNT, PredictedMP, PredictedL3 are the §3 model's counter
@@ -55,6 +63,13 @@ func (p PlanExplain) String() string {
 		fmt.Fprintf(&b, "  %d: %-24s %-9s sel=%.4f  input=%.4f\n",
 			op.Position, op.Name, op.Kind, op.TrueSelectivity, op.EstimatedInput)
 	}
+	if p.Sum != "" {
+		fmt.Fprintf(&b, "  sum(%s)\n", p.Sum)
+	}
+	if p.Group != "" {
+		fmt.Fprintf(&b, "  group by %s (%d partial table(s), %d-key domain)\n",
+			p.Group, p.GroupTables, p.GroupDistinct)
+	}
 	fmt.Fprintf(&b, "predicted: BNT=%.0f MP=%.0f L3=%.0f out=%.0f\n",
 		p.PredictedBNT, p.PredictedMP, p.PredictedL3, p.PredictedQualifying)
 	return b.String()
@@ -69,9 +84,15 @@ func (e *Engine) Explain(q *Query) (PlanExplain, error) {
 		Rows:    q.q.Table.NumRows(),
 		Exec:    "batch",
 		Workers: e.workers,
+		Sum:     q.sumExpr,
 	}
 	if e.scalar {
 		out.Exec = "scalar"
+	}
+	if q.group != nil {
+		out.Group = q.group.key + ", " + q.group.value
+		out.GroupTables = len(q.group.tables)
+		out.GroupDistinct = q.group.distinct
 	}
 	sels := make([]float64, len(q.q.Ops))
 	widths := make([]int, len(q.q.Ops))

@@ -2,8 +2,6 @@ package progopt
 
 import (
 	"fmt"
-
-	"progopt/internal/exec"
 )
 
 // GroupRow is one output row of a grouped aggregation.
@@ -17,31 +15,33 @@ type GroupRow struct {
 
 // RunGroupBy executes the query's filters and aggregates the survivors as
 // SELECT groupCol, SUM(valueCol), COUNT(*) GROUP BY groupCol, returning the
-// groups sorted by key plus the run's execution result.
+// groups sorted by key plus the run's execution result. The hash table is
+// sized from the group column's actual key domain (min/max scan), not a
+// fixed constant, so wide-domain keys do not collide pathologically. With
+// Workers > 1 the aggregation runs morsel-parallel with per-core partial
+// hash tables merged at the barrier.
+//
+// Deprecated: attach the grouping to the plan with Plan.GroupBy and execute
+// through Exec, which this wrapper forwards to. d must be the data set the
+// query was compiled on: the group and value columns resolve from the
+// query's own driving table, and a mismatched data set is rejected (the
+// pre-redesign implementation silently read columns from d, corrupting the
+// grouping when the row counts differed).
 func (e *Engine) RunGroupBy(d *Dataset, q *Query, groupCol, valueCol string) ([]GroupRow, Result, error) {
-	g := d.d.Lineitem.Column(groupCol)
-	v := d.d.Lineitem.Column(valueCol)
-	if g == nil || v == nil {
-		return nil, Result{}, fmt.Errorf("progopt: unknown column %q or %q", groupCol, valueCol)
+	if q == nil || q.q == nil {
+		return nil, Result{}, fmt.Errorf("progopt: RunGroupBy needs a compiled query")
 	}
-	// Size the hash table from the key domain (bounded by row count).
-	distinct := 1024
-	if n := d.d.Lineitem.NumRows(); n < distinct {
-		distinct = n
+	if d == nil || d.d.Lineitem != q.q.Table {
+		return nil, Result{}, fmt.Errorf("progopt: RunGroupBy data set does not match the query's driving table")
 	}
-	gb, err := exec.NewGroupBy(e.cpu, g, v, distinct)
+	ge, err := e.compileGroup(q.q.Table, groupCol, valueCol)
 	if err != nil {
 		return nil, Result{}, err
 	}
-	e.cpu.FlushCaches()
-	e.cpu.ResetPredictor()
-	res, err := e.eng.RunGroupBy(q.q, gb)
+	gq := &Query{q: q.q, group: ge}
+	res, err := e.Exec(gq, ExecOptions{Mode: ModeFixed})
 	if err != nil {
 		return nil, Result{}, err
 	}
-	rows := make([]GroupRow, len(res.Groups))
-	for i, gr := range res.Groups {
-		rows[i] = GroupRow{Key: gr.Key, Sum: gr.Sum, Count: gr.Count}
-	}
-	return rows, toResult(res.Result), nil
+	return res.Groups, res.Result, nil
 }

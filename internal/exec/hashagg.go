@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"progopt/internal/columnar"
+	"progopt/internal/hw/cpu"
 )
 
 // GroupBy is a hash-based grouping aggregate over the qualifying tuples of a
@@ -73,14 +74,30 @@ type GroupResult struct {
 // tuple (hash, compare key, add, increment).
 const groupUpdateCostInstr = 6
 
-// updateGroup simulates and applies one hash-aggregate update for row: the
-// hash-table slot access (read-modify-write of key, sum, count) and the
-// accumulator maintenance. Column loads are the caller's: per-row in the
-// scalar loop, gathered per selection in the batch path.
-func (e *Engine) updateGroup(g *GroupBy, acc map[int64]*Group, row int) {
-	key := g.GroupCol.Int64At(row)
+// groupMergeCostInstr is the per-slot cost of merging one partial hash-table
+// slot into the final table at the barrier of a parallel grouped aggregation
+// (add sum, add count, possibly insert).
+const groupMergeCostInstr = 4
+
+// slotAddr returns the simulated address of the key's hash-table slot.
+func (g *GroupBy) slotAddr(key int64) uint64 {
 	bucket := (uint64(key) * 2654435761) & g.mask
-	e.cpu.Load(g.tableBase + bucket*groupSlotBytes)
+	return g.tableBase + bucket*groupSlotBytes
+}
+
+// touch simulates the hash-table slot access of one aggregate update (the
+// read-modify-write of key, sum, count) on c. Column loads are the caller's:
+// per-row in the scalar loop, gathered per selection in the batch path.
+func (g *GroupBy) touch(c *cpu.CPU, row int) {
+	c.Load(g.slotAddr(g.GroupCol.Int64At(row)))
+}
+
+// apply performs the Go-level accumulation of one update into acc. Split
+// from touch so a parallel run can simulate per-core partial tables while
+// reducing values in global row order (deterministic, bit-identical sums
+// across worker counts).
+func (g *GroupBy) apply(acc map[int64]*Group, row int) {
+	key := g.GroupCol.Int64At(row)
 	gr, ok := acc[key]
 	if !ok {
 		gr = &Group{Key: key}
@@ -88,6 +105,61 @@ func (e *Engine) updateGroup(g *GroupBy, acc map[int64]*Group, row int) {
 	}
 	gr.Sum += g.ValueCol.Float64At(row)
 	gr.Count++
+}
+
+// GroupVector runs the query's operators over rows [lo, hi) and simulates
+// the hash-aggregate update for each survivor in g's table, under the
+// engine's execution mode. It returns the qualifying selection in ascending
+// row order (valid until the next batch call on e); the caller folds it into
+// its accumulator via g's apply, so simulation placement (which core's cache
+// sees the hash table) and value reduction order are decoupled.
+func (e *Engine) GroupVector(q *Query, g *GroupBy, lo, hi int) ([]int32, error) {
+	if err := e.checkVector(q, lo, hi); err != nil {
+		return nil, err
+	}
+	c := e.cpu
+	ops := q.Ops
+	loopSite := len(ops)
+	if e.scalar {
+		if err := e.ensureSel(hi - lo); err != nil {
+			return nil, err
+		}
+		sel := e.selA[:0]
+		for row := lo; row < hi; row++ {
+			pass := true
+			for si := 0; si < len(ops); si++ {
+				ok := ops[si].Eval(c, row)
+				c.CondBranch(si, !ok)
+				if !ok {
+					pass = false
+					break
+				}
+			}
+			if pass {
+				c.Load(g.GroupCol.Addr(row))
+				c.Load(g.ValueCol.Addr(row))
+				c.Exec(groupUpdateCostInstr)
+				g.touch(c, row)
+				sel = append(sel, int32(row))
+			}
+			c.Exec(loopOverheadInstr)
+			c.CondBranch(loopSite, true)
+		}
+		return sel, nil
+	}
+	sel, err := e.batchSelect(q, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	c.LoadSel(g.GroupCol.Base(), g.GroupCol.Width(), sel)
+	c.LoadSel(g.ValueCol.Base(), g.ValueCol.Width(), sel)
+	for _, r := range sel {
+		g.touch(c, int(r))
+	}
+	c.Exec(groupUpdateCostInstr * len(sel))
+	c.Exec(loopOverheadInstr * (hi - lo))
+	c.CondBranchN(loopSite, true, hi-lo)
+	return sel, nil
 }
 
 // RunGroupBy executes the query's filters and aggregates survivors into g's
@@ -106,61 +178,36 @@ func (e *Engine) RunGroupBy(q *Query, g *GroupBy) (GroupResult, error) {
 
 	acc := make(map[int64]*Group)
 	n := q.Table.NumRows()
-	ops := q.Ops
-	loopSite := len(ops)
 	var out GroupResult
 	for lo := 0; lo < n; lo += e.vectorSize {
 		hi := lo + e.vectorSize
 		if hi > n {
 			hi = n
 		}
-		if e.scalar {
-			for row := lo; row < hi; row++ {
-				pass := true
-				for si := 0; si < len(ops); si++ {
-					ok := ops[si].Eval(c, row)
-					c.CondBranch(si, !ok)
-					if !ok {
-						pass = false
-						break
-					}
-				}
-				if pass {
-					c.Load(g.GroupCol.Addr(row))
-					c.Load(g.ValueCol.Addr(row))
-					c.Exec(groupUpdateCostInstr)
-					e.updateGroup(g, acc, row)
-					out.Qualifying++
-				}
-				c.Exec(loopOverheadInstr)
-				c.CondBranch(loopSite, true)
-			}
-			out.Vectors++
-			continue
-		}
-		sel, err := e.batchSelect(q, lo, hi)
+		sel, err := e.GroupVector(q, g, lo, hi)
 		if err != nil {
 			return GroupResult{}, err
 		}
-		c.LoadSel(g.GroupCol.Base(), g.GroupCol.Width(), sel)
-		c.LoadSel(g.ValueCol.Base(), g.ValueCol.Width(), sel)
 		for _, r := range sel {
-			e.updateGroup(g, acc, int(r))
+			g.apply(acc, int(r))
 		}
-		c.Exec(groupUpdateCostInstr * len(sel))
 		out.Qualifying += int64(len(sel))
-		c.Exec(loopOverheadInstr * (hi - lo))
-		c.CondBranchN(loopSite, true, hi-lo)
 		out.Vectors++
 	}
 
-	out.Groups = make([]Group, 0, len(acc))
-	for _, gr := range acc {
-		out.Groups = append(out.Groups, *gr)
-	}
-	sort.Slice(out.Groups, func(a, b int) bool { return out.Groups[a].Key < out.Groups[b].Key })
+	out.Groups = groupsOf(acc)
 	out.Cycles = c.Cycles() - startCycles
 	out.Millis = c.MillisOf(out.Cycles)
 	out.Counters = c.Sample().Sub(start)
 	return out, nil
+}
+
+// groupsOf flattens the accumulator into key-sorted output rows.
+func groupsOf(acc map[int64]*Group) []Group {
+	out := make([]Group, 0, len(acc))
+	for _, gr := range acc {
+		out = append(out, *gr)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
 }

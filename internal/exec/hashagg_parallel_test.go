@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"testing"
+
+	"progopt/internal/hw/cpu"
+	"progopt/internal/tpch"
+)
+
+// groupedQuery builds a filtered lineitem query plus per-core group tables
+// over a fresh data set; allocations go through the first allocator so
+// serial and parallel configurations see identical address layouts.
+func groupedQuery(t *testing.T, tables int) (*tpch.Dataset, *Query, []*GroupBy, *cpu.CPU) {
+	t.Helper()
+	d, err := tpch.Generate(tpch.Config{Lineitems: 20000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.MustNew(cpu.ScaledXeon())
+	q := &Query{
+		Table: d.Lineitem,
+		Ops: []Op{
+			&Predicate{Col: d.Lineitem.Column("l_discount"), Op: GE, F: 0.04},
+		},
+	}
+	if err := MustEngine(c, 1024).BindQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	gs := make([]*GroupBy, tables)
+	for i := range gs {
+		g, err := NewGroupBy(c, d.Lineitem.Column("l_quantity"), d.Lineitem.Column("l_extendedprice"), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs[i] = g
+	}
+	return d, q, gs, c
+}
+
+// TestParallelRunGroupBy checks the morsel-parallel grouped aggregation
+// against the serial engine: identical groups (bit-identical sums), a
+// makespan below the serial cycle count, and deterministic repetition.
+func TestParallelRunGroupBy(t *testing.T) {
+	_, q, gs, c := groupedQuery(t, 1)
+	serialEng := MustEngine(c, 1024)
+	serial, err := serialEng.RunGroupBy(q, gs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Groups) == 0 {
+		t.Fatal("no groups")
+	}
+
+	runPar := func(workers int) GroupResult {
+		_, qp, gsp, _ := groupedQuery(t, workers)
+		p, err := NewParallel(cpu.ScaledXeon(), workers, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.RunGroupBy(qp, gsp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, workers := range []int{1, 2, 4} {
+		res := runPar(workers)
+		if res.Qualifying != serial.Qualifying {
+			t.Errorf("%d workers: qualifying %d vs serial %d", workers, res.Qualifying, serial.Qualifying)
+		}
+		if len(res.Groups) != len(serial.Groups) {
+			t.Fatalf("%d workers: %d groups vs serial %d", workers, len(res.Groups), len(serial.Groups))
+		}
+		for i, g := range res.Groups {
+			s := serial.Groups[i]
+			if g.Key != s.Key || g.Count != s.Count || g.Sum != s.Sum {
+				t.Fatalf("%d workers: group %d = %+v, serial %+v", workers, i, g, s)
+			}
+		}
+	}
+	par4a, par4b := runPar(4), runPar(4)
+	if par4a.Cycles != par4b.Cycles {
+		t.Errorf("parallel group-by not deterministic: %d vs %d cycles", par4a.Cycles, par4b.Cycles)
+	}
+	if par4a.Cycles >= serial.Cycles {
+		t.Errorf("4-core makespan %d not below serial %d", par4a.Cycles, serial.Cycles)
+	}
+}
+
+// TestParallelRunGroupByValidation covers the error paths.
+func TestParallelRunGroupByValidation(t *testing.T) {
+	_, q, gs, _ := groupedQuery(t, 2)
+	p, err := NewParallel(cpu.ScaledXeon(), 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunGroupBy(q, gs); err == nil {
+		t.Error("accepted 2 partial tables for 4 workers")
+	}
+	if _, err := p.RunGroupBy(q, []*GroupBy{nil, nil, nil, nil}); err == nil {
+		t.Error("accepted nil partial tables")
+	}
+	if _, err := p.RunGroupBy(&Query{}, gs); err == nil {
+		t.Error("accepted an invalid query")
+	}
+}
+
+// TestGroupVectorMatchesScalar pins the refactor: the batch and scalar
+// forms of GroupVector qualify the same rows.
+func TestGroupVectorMatchesScalar(t *testing.T) {
+	_, q, gs, c := groupedQuery(t, 1)
+	batch := MustEngine(c, 1024)
+	scalar := MustEngine(cpu.MustNew(cpu.ScaledXeon()), 1024)
+	scalar.SetScalar(true)
+	for lo := 0; lo < q.Table.NumRows(); lo += 4096 {
+		hi := lo + 1024
+		selB, err := batch.GroupVector(q, gs[0], lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selS, err := scalar.GroupVector(q, gs[0], lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(selB) != len(selS) {
+			t.Fatalf("[%d,%d): batch %d rows, scalar %d", lo, hi, len(selB), len(selS))
+		}
+		for i := range selB {
+			if selB[i] != selS[i] {
+				t.Fatalf("[%d,%d): row %d: batch %d, scalar %d", lo, hi, i, selB[i], selS[i])
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
@@ -116,6 +117,13 @@ type BlockResult struct {
 // vector is one morsel, claimed by the core whose simulated clock is
 // furthest behind (ties go to the lowest core id).
 func (p *Parallel) RunBlock(q *Query, vecLo, vecHi int) (BlockResult, error) {
+	return p.RunBlockImpl(q, vecLo, vecHi, ImplBranching)
+}
+
+// RunBlockImpl is RunBlock with an explicit scan implementation: the
+// micro-adaptive driver runs whole morsel blocks branch-free when the merged
+// counters say predication is cheaper on every core.
+func (p *Parallel) RunBlockImpl(q *Query, vecLo, vecHi int, impl ScanImpl) (BlockResult, error) {
 	if err := q.Validate(); err != nil {
 		return BlockResult{}, err
 	}
@@ -146,7 +154,7 @@ func (p *Parallel) RunBlock(q *Query, vecLo, vecHi int) (BlockResult, error) {
 		if hi > n {
 			hi = n
 		}
-		vr, err := eng.RunVector(q, lo, hi)
+		vr, err := eng.RunVectorImpl(q, lo, hi, impl)
 		if err != nil {
 			return BlockResult{}, err
 		}
@@ -162,6 +170,110 @@ func (p *Parallel) RunBlock(q *Query, vecLo, vecHi int) (BlockResult, error) {
 		}
 		out.Counters = out.Counters.Add(eng.CPU().Sample().Sub(startSamples[w]))
 	}
+	return out, nil
+}
+
+// RunGroupBy executes the query's filters and aggregates survivors
+// morsel-driven across all cores with per-core partial hash tables: worker w
+// updates only gs[w] (its private table region, so hash-table maintenance
+// hits its own cache hierarchy), and at the barrier after the scan core 0
+// merges every other core's partial slots into its table, extending the
+// makespan — the standard shared-nothing parallel aggregation plan.
+//
+// Group values are reduced in global row order regardless of which core ran
+// which morsel, so Groups (keys, sums, counts) are bit-identical to a serial
+// Engine.RunGroupBy and deterministic across worker counts.
+func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
+	if err := q.Validate(); err != nil {
+		return GroupResult{}, err
+	}
+	nw := len(p.workers)
+	if len(gs) != nw {
+		return GroupResult{}, fmt.Errorf("exec: %d partial group tables for %d workers", len(gs), nw)
+	}
+	for w, g := range gs {
+		if g == nil {
+			return GroupResult{}, fmt.Errorf("exec: nil partial group table for worker %d", w)
+		}
+	}
+	n := q.Table.NumRows()
+	numVec := p.NumVectors(q)
+	clocks := make([]uint64, nw)
+	startSamples := make([]pmu.Sample, nw)
+	for w, eng := range p.workers {
+		startSamples[w] = eng.CPU().Sample()
+	}
+	acc := make(map[int64]*Group)
+	// workerKeys tracks which keys each core's partial table holds, for the
+	// merge phase (sorted for determinism).
+	workerKeys := make([]map[int64]struct{}, nw)
+	for w := range workerKeys {
+		workerKeys[w] = make(map[int64]struct{})
+	}
+	var out GroupResult
+	for v := 0; v < numVec; v++ {
+		w := 0
+		for i := 1; i < nw; i++ {
+			if clocks[i] < clocks[w] {
+				w = i
+			}
+		}
+		eng := p.workers[w]
+		c := eng.CPU()
+		c0 := c.Cycles()
+		lo := v * p.vectorSize
+		hi := lo + p.vectorSize
+		if hi > n {
+			hi = n
+		}
+		sel, err := eng.GroupVector(q, gs[w], lo, hi)
+		if err != nil {
+			return GroupResult{}, err
+		}
+		clocks[w] += c.Cycles() - c0
+		// Reduce in global vector order (the scheduler walks v ascending), so
+		// per-key accumulation order is the global row order: identical float
+		// association to a serial run for every worker count.
+		for _, r := range sel {
+			gs[w].apply(acc, int(r))
+			workerKeys[w][gs[w].GroupCol.Int64At(int(r))] = struct{}{}
+		}
+		out.Qualifying += int64(len(sel))
+		out.Vectors++
+	}
+	// Merge barrier: every core must finish scanning before core 0 folds the
+	// partial tables, so the merge starts at the scan makespan (the slowest
+	// core's clock) and extends it — not core 0's own scan clock.
+	var scanMakespan uint64
+	for _, cl := range clocks {
+		if cl > scanMakespan {
+			scanMakespan = cl
+		}
+	}
+	// Core 0 folds every other core's partial slots into its table (one read
+	// of the remote slot, one read-modify-write of its own).
+	c0 := p.workers[0].CPU()
+	mergeStart := c0.Cycles()
+	for w := 1; w < nw; w++ {
+		keys := make([]int64, 0, len(workerKeys[w]))
+		for k := range workerKeys[w] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			c0.Load(gs[w].slotAddr(k))
+			c0.Load(gs[0].slotAddr(k))
+			c0.Exec(groupMergeCostInstr)
+		}
+	}
+	mergeCycles := c0.Cycles() - mergeStart
+
+	for w, eng := range p.workers {
+		out.Counters = out.Counters.Add(eng.CPU().Sample().Sub(startSamples[w]))
+	}
+	out.Groups = groupsOf(acc)
+	out.Cycles = scanMakespan + mergeCycles
+	out.Millis = p.workers[0].CPU().MillisOf(out.Cycles)
 	return out, nil
 }
 

@@ -157,6 +157,7 @@ func All() []Experiment {
 		{"ext-micro", "Extension: micro-adaptive branching v. branch-free choice", ExtMicro},
 		{"ext-static", "Extension: static histogram optimizer v. progressive", ExtStatic},
 		{"ext-parallel", "Extension: morsel-driven multi-core scaling", ExtParallel},
+		{"ext-groupby", "Extension: morsel-driven grouped aggregation", ExtGroupBy},
 	}
 }
 

@@ -4,8 +4,6 @@ import (
 	"fmt"
 
 	"progopt/internal/core"
-	"progopt/internal/exec"
-	"progopt/internal/tpch"
 )
 
 // ShuffleWindow returns a copy of the data set whose lineitem rows are
@@ -28,46 +26,20 @@ type JoinSpec struct {
 // BuildPipeline builds a query over lineitem whose reorderable operators are
 // the given predicates followed by the given FK joins (initial order as
 // listed; the progressive optimizer may permute all of them).
+//
+// Deprecated: build the plan with Scan, Filter, and Join, then Compile.
 func (e *Engine) BuildPipeline(d *Dataset, preds []Predicate, joins []JoinSpec) (*Query, error) {
 	if len(preds)+len(joins) == 0 {
 		return nil, fmt.Errorf("progopt: pipeline needs at least one operator")
 	}
-	var ops []exec.Op
-	if len(preds) > 0 {
-		pq, err := e.BuildScan(d, preds, false)
-		if err != nil {
-			return nil, err
-		}
-		ops = append(ops, pq.q.Ops...)
-	}
-	for _, js := range joins {
-		if js.FilterSelectivity <= 0 || js.FilterSelectivity > 1 {
-			return nil, fmt.Errorf("progopt: join filter selectivity %v outside (0,1]", js.FilterSelectivity)
-		}
-		var j *exec.FKJoin
-		var err error
-		switch js.Build {
-		case "orders":
-			cut := tpch.QuantileInt32(d.d.Orders.Column("o_orderdate"), js.FilterSelectivity)
-			filter := &exec.Predicate{Col: d.d.Orders.Column("o_orderdate"), Op: exec.LE, I: int64(cut)}
-			j, err = exec.NewFKJoin(e.cpu, d.d.Lineitem.Column("l_orderkey"), d.d.NumOrders, filter, "join-orders")
-		case "part":
-			cut := int64(50 * js.FilterSelectivity)
-			filter := &exec.Predicate{Col: d.d.Part.Column("p_size"), Op: exec.LE, I: cut}
-			j, err = exec.NewFKJoin(e.cpu, d.d.Lineitem.Column("l_partkey"), d.d.NumParts, filter, "join-part")
-		default:
-			return nil, fmt.Errorf("progopt: unknown build table %q", js.Build)
-		}
-		if err != nil {
-			return nil, err
-		}
-		ops = append(ops, j)
-	}
-	q := &exec.Query{Table: d.d.Lineitem, Ops: ops}
-	if err := e.eng.BindQuery(q); err != nil {
+	p, err := scanPlan(preds)
+	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q}, nil
+	for _, js := range joins {
+		p.Join(js.Build, js.FilterSelectivity)
+	}
+	return e.Compile(d, p)
 }
 
 // SortednessReport classifies the locality of a join's build-side accesses

@@ -1,0 +1,159 @@
+package progopt
+
+import "fmt"
+
+// Plan is a declarative description of a query over one driving table: a
+// chain of reorderable filtering steps (predicates and foreign-key joins),
+// optionally followed by a sum aggregate or a grouped aggregation. Plans are
+// built with the chainable Scan/Filter/Join/Sum/GroupBy methods, carry no
+// engine or data-set state, and become executable only through
+// Engine.Compile, which validates every step against a concrete data set.
+//
+// Builder methods never fail in place; the first construction error is
+// remembered and reported by Compile, so chains stay uncluttered:
+//
+//	q, err := eng.Compile(ds, progopt.Scan("lineitem").
+//		Filter("l_shipdate", progopt.CmpLE, cutoff).
+//		Filter("l_discount", progopt.CmpGE, 0.05).
+//		Sum("l_extendedprice * l_discount"))
+type Plan struct {
+	table string
+	steps []planStep
+	sum   string // aggregate expression, "" = none
+	group *groupSpec
+	err   error // first builder error, surfaced by Compile
+}
+
+// stepKind discriminates plan steps.
+type stepKind int
+
+const (
+	stepFilter stepKind = iota
+	stepJoin
+)
+
+// boundKind records which bound representation a filter step carries.
+type boundKind int
+
+const (
+	// boundInt / boundFloat: the public Filter API, checked against the
+	// column kind at compile time.
+	boundInt boundKind = iota
+	boundFloat
+	// boundLegacy carries both representations and resolves by column kind
+	// (the deprecated Predicate struct's contract).
+	boundLegacy
+)
+
+// planStep is one chainable step of a Plan.
+type planStep struct {
+	kind stepKind
+
+	// Filter fields.
+	col       string
+	op        Cmp
+	i         int64
+	f         float64
+	bound     boundKind
+	extraCost int
+	label     string
+
+	// Join fields.
+	build     string
+	filterSel float64
+}
+
+// groupSpec is a Plan's grouped aggregation.
+type groupSpec struct {
+	key, value string
+}
+
+// Scan starts a plan over the named driving table. The engine's data sets
+// drive scans from "lineitem"; the orders and part tables are build sides
+// reachable through Join.
+func Scan(table string) *Plan {
+	return &Plan{table: table}
+}
+
+// Filter appends a selection predicate comparing the column against bound.
+// bound must be an int, int32, or int64 for integer and date columns, or a
+// float32/float64 for float columns; mismatches are reported by Compile.
+func (p *Plan) Filter(col string, op Cmp, bound any) *Plan {
+	return p.FilterCost(col, op, bound, 0)
+}
+
+// FilterCost is Filter with an extra per-evaluation instruction cost,
+// modeling an expensive predicate (a string match or UDF).
+func (p *Plan) FilterCost(col string, op Cmp, bound any, extraCostInstr int) *Plan {
+	step := planStep{kind: stepFilter, col: col, op: op, extraCost: extraCostInstr}
+	switch b := bound.(type) {
+	case int:
+		step.i, step.bound = int64(b), boundInt
+	case int32:
+		step.i, step.bound = int64(b), boundInt
+	case int64:
+		step.i, step.bound = b, boundInt
+	case float32:
+		step.f, step.bound = float64(b), boundFloat
+	case float64:
+		step.f, step.bound = b, boundFloat
+	default:
+		p.fail(fmt.Errorf("progopt: filter on %q: unsupported bound type %T", col, bound))
+		return p
+	}
+	p.steps = append(p.steps, step)
+	return p
+}
+
+// legacyFilter appends a filter carrying both bound representations, to be
+// resolved by column kind at compile time — the deprecated Predicate
+// struct's behavior, used by the BuildScan/BuildPipeline wrappers.
+func (p *Plan) legacyFilter(col string, op Cmp, i int64, f float64, extraCostInstr int) *Plan {
+	p.steps = append(p.steps, planStep{
+		kind: stepFilter, col: col, op: op,
+		i: i, f: f, bound: boundLegacy, extraCost: extraCostInstr,
+	})
+	return p
+}
+
+// Join appends a foreign-key join from the driving table into the named
+// build table ("orders" or "part") with a build-side filter of the given
+// selectivity in (0, 1].
+func (p *Plan) Join(build string, filterSelectivity float64) *Plan {
+	p.steps = append(p.steps, planStep{kind: stepJoin, build: build, filterSel: filterSelectivity})
+	return p
+}
+
+// Label names the most recently appended step, overriding the generated
+// operator name in plans and reports.
+func (p *Plan) Label(name string) *Plan {
+	if len(p.steps) == 0 {
+		p.fail(fmt.Errorf("progopt: Label(%q) before any step", name))
+		return p
+	}
+	p.steps[len(p.steps)-1].label = name
+	return p
+}
+
+// Sum aggregates the given expression over qualifying tuples: either a
+// single numeric column ("l_extendedprice") or a product of two
+// ("l_extendedprice * l_discount").
+func (p *Plan) Sum(expr string) *Plan {
+	p.sum = expr
+	return p
+}
+
+// GroupBy aggregates qualifying tuples as SELECT key, SUM(value), COUNT(*)
+// GROUP BY key. The key column must be integer-kind; the hash table is sized
+// from the key column's actual domain at compile time.
+func (p *Plan) GroupBy(key, value string) *Plan {
+	p.group = &groupSpec{key: key, value: value}
+	return p
+}
+
+// fail records the first builder error for Compile to report.
+func (p *Plan) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+}

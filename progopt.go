@@ -3,7 +3,6 @@ package progopt
 import (
 	"fmt"
 
-	"progopt/internal/columnar"
 	"progopt/internal/core"
 	"progopt/internal/exec"
 	"progopt/internal/hw/branch"
@@ -35,10 +34,12 @@ type Config struct {
 	// DisablePrefetch turns the simulated L2 streamer off.
 	DisablePrefetch bool
 	// Workers is the number of simulated cores executing queries with the
-	// morsel-driven scheduler (default 1 = serial). Run and RunProgressive
-	// honor it, reporting the makespan (slowest core) and the PMU counters
-	// merged across cores, with results bit-identical across worker counts;
-	// RunMicroAdaptive and RunGroupBy always execute on a single core.
+	// morsel-driven scheduler (default 1 = serial). Every Exec mode honors
+	// it — fixed, progressive, micro-adaptive, and grouped runs all report
+	// the makespan (slowest core) and the PMU counters merged across cores,
+	// with results bit-identical across worker counts. Of the deprecated run
+	// methods only RunMicroAdaptive does not: it keeps its single-core
+	// contract and returns an error when Workers > 1.
 	Workers int
 	// ScalarExec forces the seed's tuple-at-a-time row loop instead of the
 	// batch-kernel pipeline (for comparison; PMU load/branch counts and
@@ -144,10 +145,16 @@ func (d *Dataset) Lineitems() int { return d.d.Lineitem.NumRows() }
 // ShipdateCutoff returns a shipdate bound hitting the given selectivity.
 func (d *Dataset) ShipdateCutoff(sel float64) int32 { return d.d.ShipdateCutoff(sel) }
 
-// Query wraps an executable query plan whose operator order the progressive
-// optimizer may permute.
+// Query wraps a compiled, executable query plan whose operator order the
+// progressive optimizer may permute. Queries are produced by Engine.Compile
+// (or the deprecated Build* methods) and executed by Engine.Exec.
 type Query struct {
 	q *exec.Query
+	// group is the compiled grouped aggregation, nil for plain scans.
+	group *groupExec
+	// sumExpr is the plan's aggregate expression ("" = none), kept for
+	// Explain.
+	sumExpr string
 }
 
 // NumOps returns the number of reorderable operators.
@@ -163,33 +170,35 @@ func (q *Query) WithOrder(perm []int) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: qo}, nil
+	return &Query{q: qo, group: q.group, sumExpr: q.sumExpr}, nil
 }
 
 // BuildQ6 builds TPC-H Query 6 (five reorderable predicates) over the data
 // set and binds it into the engine's address space.
+//
+// Deprecated: Q6 is an ordinary plan; build it with Scan and Compile. This
+// wrapper compiles exactly the plan below.
 func (e *Engine) BuildQ6(d *Dataset) (*Query, error) {
-	q, err := exec.Q6(d.d)
-	if err != nil {
-		return nil, err
-	}
-	if err := e.eng.BindQuery(q); err != nil {
-		return nil, err
-	}
-	return &Query{q: q}, nil
+	return e.Compile(d, Scan("lineitem").
+		Filter("l_shipdate", CmpGE, int64(tpch.Q6ShipdateLo())).Label("shipdate>=lo").
+		Filter("l_shipdate", CmpLT, int64(tpch.Q6ShipdateHi())).Label("shipdate<hi").
+		Filter("l_discount", CmpGE, tpch.Q6DiscountLo-1e-9).Label("discount>=0.05").
+		Filter("l_discount", CmpLE, tpch.Q6DiscountHi+1e-9).Label("discount<=0.07").
+		Filter("l_quantity", CmpLT, int64(tpch.Q6QuantityBound)).Label("quantity<24").
+		Sum("l_extendedprice * l_discount"))
 }
 
 // BuildQ6Shipdate builds the introduction's modified Q6 (four predicates)
 // with the given shipdate cutoff.
+//
+// Deprecated: build the plan with Scan and Compile.
 func (e *Engine) BuildQ6Shipdate(d *Dataset, cutoff int32) (*Query, error) {
-	q, err := exec.Q6Shipdate(d.d, cutoff)
-	if err != nil {
-		return nil, err
-	}
-	if err := e.eng.BindQuery(q); err != nil {
-		return nil, err
-	}
-	return &Query{q: q}, nil
+	return e.Compile(d, Scan("lineitem").
+		Filter("l_shipdate", CmpLE, int64(cutoff)).Label("shipdate<=v").
+		Filter("l_quantity", CmpLT, int64(tpch.Q6QuantityBound)).Label("quantity<24").
+		Filter("l_discount", CmpGE, tpch.Q6DiscountLo-1e-9).Label("discount>=0.05").
+		Filter("l_discount", CmpLE, tpch.Q6DiscountHi+1e-9).Label("discount<=0.07").
+		Sum("l_extendedprice * l_discount"))
 }
 
 // Cmp is a predicate comparison operator.
@@ -204,9 +213,14 @@ const (
 	CmpEQ Cmp = "="
 )
 
-// Predicate specifies one selection predicate for BuildScan.
+// Predicate specifies one selection predicate for the deprecated BuildScan
+// and BuildPipeline builders. New code passes bounds directly to
+// Plan.Filter.
 type Predicate struct {
-	// Table selects the lineitem ("lineitem"), orders, or part table.
+	// Table must be empty or "lineitem": scans always drive from lineitem,
+	// and a predicate on another table's column would index that shorter
+	// column with lineitem row ids. Historically accepted "orders"/"part"
+	// values are now rejected with an error.
 	Table string
 	// Column is the column name (e.g. "l_quantity").
 	Column string
@@ -219,59 +233,58 @@ type Predicate struct {
 	ExtraCostInstr int
 }
 
+// cmpOf maps the public comparison to the executor's.
+func cmpOf(c Cmp) (exec.CmpOp, error) {
+	switch c {
+	case CmpLE:
+		return exec.LE, nil
+	case CmpLT:
+		return exec.LT, nil
+	case CmpGE:
+		return exec.GE, nil
+	case CmpGT:
+		return exec.GT, nil
+	case CmpEQ:
+		return exec.EQ, nil
+	default:
+		return 0, fmt.Errorf("progopt: unknown comparison %q", c)
+	}
+}
+
+// scanPlan translates legacy Predicate specs into plan filter steps.
+func scanPlan(preds []Predicate) (*Plan, error) {
+	p := Scan("lineitem")
+	for _, pr := range preds {
+		switch pr.Table {
+		case "", "lineitem":
+		case "orders", "part":
+			return nil, fmt.Errorf(
+				"progopt: predicate on %s.%s: cross-table predicates are rejected (they would read the build-side column with lineitem row ids); use Plan.Join",
+				pr.Table, pr.Column)
+		default:
+			return nil, fmt.Errorf("progopt: unknown table %q", pr.Table)
+		}
+		p.legacyFilter(pr.Column, pr.Op, pr.Int, pr.Float, pr.ExtraCostInstr)
+	}
+	return p, nil
+}
+
 // BuildScan builds a multi-predicate selection over lineitem with an
 // optional sum(l_extendedprice*l_discount) aggregate.
+//
+// Deprecated: build the plan with Scan, Filter, and Sum, then Compile.
 func (e *Engine) BuildScan(d *Dataset, preds []Predicate, withAgg bool) (*Query, error) {
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("progopt: scan needs at least one predicate")
 	}
-	ops := make([]exec.Op, len(preds))
-	for i, p := range preds {
-		tbl := d.d.Lineitem
-		switch p.Table {
-		case "", "lineitem":
-		case "orders":
-			tbl = d.d.Orders
-		case "part":
-			tbl = d.d.Part
-		default:
-			return nil, fmt.Errorf("progopt: unknown table %q", p.Table)
-		}
-		col := tbl.Column(p.Column)
-		if col == nil {
-			return nil, fmt.Errorf("progopt: unknown column %q in %q", p.Column, tbl.Name())
-		}
-		var op exec.CmpOp
-		switch p.Op {
-		case CmpLE:
-			op = exec.LE
-		case CmpLT:
-			op = exec.LT
-		case CmpGE:
-			op = exec.GE
-		case CmpGT:
-			op = exec.GT
-		case CmpEQ:
-			op = exec.EQ
-		default:
-			return nil, fmt.Errorf("progopt: unknown comparison %q", p.Op)
-		}
-		ops[i] = &exec.Predicate{Col: col, Op: op, I: p.Int, F: p.Float, ExtraCostInstr: p.ExtraCostInstr}
-	}
-	q := &exec.Query{Table: d.d.Lineitem, Ops: ops}
-	if withAgg {
-		price := d.d.Lineitem.Column("l_extendedprice")
-		disc := d.d.Lineitem.Column("l_discount")
-		pf, df := price.F64(), disc.F64()
-		q.Agg = &exec.Aggregate{
-			Cols: []*columnar.Column{price, disc},
-			F:    func(row int) float64 { return pf[row] * df[row] },
-		}
-	}
-	if err := e.eng.BindQuery(q); err != nil {
+	p, err := scanPlan(preds)
+	if err != nil {
 		return nil, err
 	}
-	return &Query{q: q}, nil
+	if withAgg {
+		p.Sum("l_extendedprice * l_discount")
+	}
+	return e.Compile(d, p)
 }
 
 // Result reports a query execution.
@@ -306,22 +319,14 @@ func toResult(r exec.Result) Result {
 // execution pattern") from a cold hardware state. With Workers > 1 the
 // driving table is consumed as morsels by all cores; the result's Cycles and
 // Millis are the makespan and Counters the merged per-core PMU deltas.
+//
+// Deprecated: use Exec with ModeFixed, which this wrapper forwards to.
 func (e *Engine) Run(q *Query) (Result, error) {
-	if e.par != nil {
-		e.par.Cold()
-		r, err := e.par.Run(q.q)
-		if err != nil {
-			return Result{}, err
-		}
-		return toResult(r), nil
-	}
-	e.cpu.FlushCaches()
-	e.cpu.ResetPredictor()
-	r, err := e.eng.Run(q.q)
+	r, err := e.Exec(q, ExecOptions{Mode: ModeFixed})
 	if err != nil {
 		return Result{}, err
 	}
-	return toResult(r), nil
+	return r.Result, nil
 }
 
 // Progressive configures progressive optimization.
@@ -348,41 +353,14 @@ type Stats struct {
 // granularity: every block spans Interval vectors per core, the per-core PMU
 // deltas are merged, and the estimator inverts the cost models over the
 // aggregate (see core.RunParallelProgressive).
+//
+// Deprecated: use Exec with ModeProgressive, which this wrapper forwards to.
 func (e *Engine) RunProgressive(q *Query, p Progressive) (Result, Stats, error) {
-	if p.Interval <= 0 {
-		p.Interval = 10
-	}
-	opts := core.Options{
-		ReopInterval:      p.Interval,
-		DisableValidation: p.DisableValidation,
-	}
-	if e.par != nil {
-		e.par.Cold()
-		r, st, err := core.RunParallelProgressive(e.par, q.q, opts)
-		if err != nil {
-			return Result{}, Stats{}, err
-		}
-		return toResult(r), Stats{
-			Optimizations: st.Optimizations,
-			Reorders:      st.Reorders,
-			Reverts:       st.Reverts,
-			FinalOrder:    st.FinalOrder,
-			LastEstimate:  st.LastEstimate,
-		}, nil
-	}
-	e.cpu.FlushCaches()
-	e.cpu.ResetPredictor()
-	r, st, err := core.RunProgressive(e.eng, q.q, opts)
+	r, err := e.Exec(q, ExecOptions{Mode: ModeProgressive, Progressive: p})
 	if err != nil {
 		return Result{}, Stats{}, err
 	}
-	return toResult(r), Stats{
-		Optimizations: st.Optimizations,
-		Reorders:      st.Reorders,
-		Reverts:       st.Reverts,
-		FinalOrder:    st.FinalOrder,
-		LastEstimate:  st.LastEstimate,
-	}, nil
+	return r.Result, r.Stats, nil
 }
 
 // MicroAdaptiveStats extends Stats with implementation-choice telemetry.
@@ -397,33 +375,29 @@ type MicroAdaptiveStats struct {
 // micro-adaptive implementation choice: each optimization cycle also decides
 // whether upcoming vectors run the branching (short-circuiting) or the
 // branch-free (predicated) scan, from the counter-estimated selectivities.
-// Unlike Run and RunProgressive it always executes on a single simulated
-// core, ignoring Config.Workers — do not compare its cycle counts against
-// multi-core makespans.
+//
+// Its stats contract is single-core: it returns an error when Config.Workers
+// exceeds 1 rather than reporting single-core cycle counts next to
+// multi-core makespans. Use Exec with ModeMicroAdaptive for morsel-driven
+// micro-adaptive execution.
+//
+// Deprecated: use Exec with ModeMicroAdaptive, which this wrapper forwards
+// to on single-core engines.
 func (e *Engine) RunMicroAdaptive(q *Query, p Progressive) (Result, MicroAdaptiveStats, error) {
-	if p.Interval <= 0 {
-		p.Interval = 10
+	if e.workers > 1 {
+		return Result{}, MicroAdaptiveStats{}, fmt.Errorf(
+			"progopt: RunMicroAdaptive is single-core only (its cycle counts are not makespans); with Workers = %d use Exec(q, ExecOptions{Mode: ModeMicroAdaptive})",
+			e.workers)
 	}
-	e.cpu.FlushCaches()
-	e.cpu.ResetPredictor()
-	r, st, err := core.RunMicroAdaptive(e.eng, q.q, core.Options{
-		ReopInterval:      p.Interval,
-		DisableValidation: p.DisableValidation,
-	})
+	r, err := e.Exec(q, ExecOptions{Mode: ModeMicroAdaptive, Progressive: p})
 	if err != nil {
 		return Result{}, MicroAdaptiveStats{}, err
 	}
-	return toResult(r), MicroAdaptiveStats{
-		Stats: Stats{
-			Optimizations: st.Optimizations,
-			Reorders:      st.Reorders,
-			Reverts:       st.Reverts,
-			FinalOrder:    st.FinalOrder,
-			LastEstimate:  st.LastEstimate,
-		},
-		BranchingVectors:  st.BranchingVectors,
-		BranchFreeVectors: st.BranchFreeVectors,
-		ImplSwitches:      st.ImplSwitches,
+	return r.Result, MicroAdaptiveStats{
+		Stats:             r.Stats,
+		BranchingVectors:  r.Impl.BranchingVectors,
+		BranchFreeVectors: r.Impl.BranchFreeVectors,
+		ImplSwitches:      r.Impl.ImplSwitches,
 	}, nil
 }
 

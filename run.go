@@ -1,0 +1,222 @@
+package progopt
+
+import (
+	"fmt"
+
+	"progopt/internal/core"
+	"progopt/internal/exec"
+)
+
+// Mode selects how Exec drives a query.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeFixed executes the plan's operator order unchanged (the paper's
+	// baseline "common execution pattern").
+	ModeFixed Mode = iota
+	// ModeProgressive re-optimizes the operator order during execution from
+	// sampled PMU counters (§4.4).
+	ModeProgressive
+	// ModeMicroAdaptive is ModeProgressive plus per-interval implementation
+	// choice between the branching and branch-free scan (predicates only).
+	ModeMicroAdaptive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeFixed:
+		return "fixed"
+	case ModeProgressive:
+		return "progressive"
+	case ModeMicroAdaptive:
+		return "micro-adaptive"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ExecOptions configure one Exec call.
+type ExecOptions struct {
+	// Mode selects fixed, progressive, or micro-adaptive execution.
+	Mode Mode
+	// Progressive configures the optimizer for ModeProgressive and
+	// ModeMicroAdaptive (ignored by ModeFixed).
+	Progressive Progressive
+}
+
+// ImplStats reports the micro-adaptive implementation choices of a run.
+type ImplStats struct {
+	// BranchingVectors and BranchFreeVectors count vectors per scan
+	// implementation; ImplSwitches counts changes.
+	BranchingVectors, BranchFreeVectors, ImplSwitches int
+}
+
+// ExecResult is the outcome of one Exec call: the execution result, the
+// grouped output when the plan groups, and optimizer telemetry when the mode
+// adapts.
+type ExecResult struct {
+	Result
+	// Groups holds the grouped-aggregation output rows (sorted by key) when
+	// the plan has a GroupBy step; nil otherwise.
+	Groups []GroupRow
+	// Stats reports optimizer actions (zero-valued under ModeFixed).
+	Stats Stats
+	// Impl reports implementation choices (zero-valued unless
+	// ModeMicroAdaptive).
+	Impl ImplStats
+}
+
+// Exec executes a compiled query from a cold hardware state. It is the
+// single entry point for every execution shape: all modes honor
+// Config.Workers (with Workers > 1 the scan runs morsel-driven; Cycles and
+// Millis are makespans and Counters the merged per-core PMU deltas), and a
+// grouped plan aggregates with per-core partial hash tables merged at the
+// barrier. Qualifying, Sum, and Groups are bit-identical across modes,
+// worker counts, and Config.ScalarExec.
+//
+// Grouped plans currently execute their operator order as compiled
+// (ModeFixed); adaptive modes on grouped plans return an error.
+func (e *Engine) Exec(q *Query, opts ExecOptions) (ExecResult, error) {
+	if q == nil || q.q == nil {
+		return ExecResult{}, fmt.Errorf("progopt: Exec needs a compiled query")
+	}
+	switch opts.Mode {
+	case ModeFixed, ModeProgressive, ModeMicroAdaptive:
+	default:
+		return ExecResult{}, fmt.Errorf("progopt: unknown execution mode %d", int(opts.Mode))
+	}
+	if q.group != nil {
+		if opts.Mode != ModeFixed {
+			return ExecResult{}, fmt.Errorf("progopt: %s execution of grouped plans is not supported yet; use ModeFixed", opts.Mode)
+		}
+		return e.execGrouped(q)
+	}
+	switch opts.Mode {
+	case ModeProgressive:
+		return e.execProgressive(q, opts.Progressive)
+	case ModeMicroAdaptive:
+		return e.execMicroAdaptive(q, opts.Progressive)
+	default:
+		return e.execFixed(q)
+	}
+}
+
+// cold resets transient hardware state on every core the run will use.
+func (e *Engine) cold() {
+	if e.par != nil {
+		e.par.Cold()
+		return
+	}
+	e.cpu.FlushCaches()
+	e.cpu.ResetPredictor()
+}
+
+func (e *Engine) execFixed(q *Query) (ExecResult, error) {
+	e.cold()
+	if e.par != nil {
+		r, err := e.par.Run(q.q)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		return ExecResult{Result: toResult(r)}, nil
+	}
+	r, err := e.eng.Run(q.q)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Result: toResult(r)}, nil
+}
+
+func (e *Engine) execProgressive(q *Query, p Progressive) (ExecResult, error) {
+	opts := p.coreOptions()
+	e.cold()
+	if e.par != nil {
+		r, st, err := core.RunParallelProgressive(e.par, q.q, opts)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		return ExecResult{Result: toResult(r), Stats: toStats(st.Stats)}, nil
+	}
+	r, st, err := core.RunProgressive(e.eng, q.q, opts)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Result: toResult(r), Stats: toStats(st)}, nil
+}
+
+func (e *Engine) execMicroAdaptive(q *Query, p Progressive) (ExecResult, error) {
+	opts := p.coreOptions()
+	e.cold()
+	if e.par != nil {
+		r, st, err := core.RunParallelMicroAdaptive(e.par, q.q, opts)
+		if err != nil {
+			return ExecResult{}, err
+		}
+		return ExecResult{
+			Result: toResult(r),
+			Stats:  toStats(st.Stats),
+			Impl: ImplStats{
+				BranchingVectors:  st.BranchingVectors,
+				BranchFreeVectors: st.BranchFreeVectors,
+				ImplSwitches:      st.ImplSwitches,
+			},
+		}, nil
+	}
+	r, st, err := core.RunMicroAdaptive(e.eng, q.q, opts)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{
+		Result: toResult(r),
+		Stats:  toStats(st.Stats),
+		Impl: ImplStats{
+			BranchingVectors:  st.BranchingVectors,
+			BranchFreeVectors: st.BranchFreeVectors,
+			ImplSwitches:      st.ImplSwitches,
+		},
+	}, nil
+}
+
+func (e *Engine) execGrouped(q *Query) (ExecResult, error) {
+	e.cold()
+	var res exec.GroupResult
+	var err error
+	if e.par != nil {
+		res, err = e.par.RunGroupBy(q.q, q.group.tables)
+	} else {
+		res, err = e.eng.RunGroupBy(q.q, q.group.tables[0])
+	}
+	if err != nil {
+		return ExecResult{}, err
+	}
+	rows := make([]GroupRow, len(res.Groups))
+	for i, g := range res.Groups {
+		rows[i] = GroupRow{Key: g.Key, Sum: g.Sum, Count: g.Count}
+	}
+	return ExecResult{Result: toResult(res.Result), Groups: rows}, nil
+}
+
+// coreOptions maps the public Progressive knobs to the driver options,
+// applying the default interval.
+func (p Progressive) coreOptions() core.Options {
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 10
+	}
+	return core.Options{
+		ReopInterval:      interval,
+		DisableValidation: p.DisableValidation,
+	}
+}
+
+// toStats maps driver stats to the public type.
+func toStats(st core.Stats) Stats {
+	return Stats{
+		Optimizations: st.Optimizations,
+		Reorders:      st.Reorders,
+		Reverts:       st.Reverts,
+		FinalOrder:    st.FinalOrder,
+		LastEstimate:  st.LastEstimate,
+	}
+}

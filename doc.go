@@ -49,6 +49,33 @@
 // RunProgressive, RunMicroAdaptive, RunGroupBy) remain as deprecated thin
 // wrappers over Compile/Exec; see DESIGN.md for the migration table.
 //
+// # Serving a workload
+//
+// Above the single-query engine sits a workload server that runs many
+// concurrent queries against one shared pool of simulated cores
+// (Server -> plan/feedback cache -> Engine -> exec.Parallel):
+//
+//	srv, err := progopt.NewServer(eng, progopt.ServerConfig{MaxActive: 4})
+//	t1, err := srv.SubmitAt(ds, plan, opts, 0)      // arrival on the simulated clock
+//	t2, err := srv.SubmitAt(ds, plan, opts, 50_000) // same plan, recurring
+//	res1, err := t1.Wait()
+//	res2, err := t2.Wait()
+//	fmt.Println(res2.Served.PlanCacheHit, res2.Served.WarmStart,
+//		res2.Served.LatencyMillis, srv.Stats().MakespanMillis)
+//
+// An admission controller and fair scheduler partition Config.Workers cores
+// across active queries at morsel granularity; a plan cache keyed by a
+// canonical fingerprint (table + operators + bounds + data-set generation)
+// skips re-compilation of recurring plans; and a PMU-feedback cache
+// warm-starts adaptive runs at the operator order a previous run of the
+// same fingerprint converged to, so recurring queries stop paying the
+// paper's observation cost. Scheduling runs entirely on the simulated
+// clock: a fixed submission trace yields bit-identical per-query results,
+// latencies, and total makespan on every host run, at any GOMAXPROCS. A
+// query that has the pool to itself is bit-identical to Engine.Exec
+// (equivalence_test.go). cmd/progopt-serve drives seeded workload traces
+// and emits the BENCH_serve.json artifact.
+//
 // See the examples/ directory for runnable programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology and per-figure results.
 package progopt

@@ -400,6 +400,121 @@ func TestGroupByGroundTruth(t *testing.T) {
 	}
 }
 
+// servedEquivCase builds a fresh engine + data set and returns the plan the
+// served-vs-Exec comparisons run: three worst-first predicates (so adaptive
+// modes reorder) plus an optional aggregate.
+func servedEquivSetup(t *testing.T, workers int) (*Engine, *Dataset, *Plan) {
+	t.Helper()
+	e, err := New(Config{VectorSize: 512, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.GenerateTPCH(64*512, 37, OrderRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Scan("lineitem").
+		Filter("l_shipdate", CmpLE, int64(d.ShipdateCutoff(0.8))).Label("ship80").
+		Filter("l_discount", CmpLE, 0.05).Label("disc<=.05").
+		Filter("l_quantity", CmpLT, 10).Label("qty<10").
+		Sum("l_extendedprice * l_discount")
+	return e, d, p
+}
+
+// TestEquivalenceServed pins the service satellite: a query submitted
+// through Server.Submit to an otherwise idle server returns bit-identical
+// results and PMU counters to the same query run via Engine.Exec, at
+// Workers 1 and 4. Adaptive modes compare at Workers 4 in full (cycles,
+// counters, optimizer stats: the server drives the same per-block protocol
+// as Exec's parallel drivers); at Workers 1 Exec uses the serial per-vector
+// drivers while the server schedules at block granularity, so there the
+// contract — and the assertion — is answer identity.
+func TestEquivalenceServed(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []Mode{ModeFixed, ModeProgressive, ModeMicroAdaptive} {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(t *testing.T) {
+				opts := ExecOptions{Mode: mode, Progressive: Progressive{Interval: 5}}
+				eOld, dOld, pOld := servedEquivSetup(t, workers)
+				qOld, err := eOld.Compile(dOld, pOld)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := eOld.Exec(qOld, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eNew, dNew, pNew := servedEquivSetup(t, workers)
+				srv, err := NewServer(eNew, ServerConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tk, err := srv.Submit(dNew, pNew, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tk.Wait()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Served == nil || got.Served.PlanCacheHit || got.Served.WarmStart {
+					t.Fatalf("first served run has wrong provenance: %+v", got.Served)
+				}
+				if got.Qualifying != want.Qualifying || got.Sum != want.Sum {
+					t.Errorf("answers diverge: %d/%v vs %d/%v",
+						got.Qualifying, got.Sum, want.Qualifying, want.Sum)
+				}
+				if workers > 1 || mode == ModeFixed {
+					sameResult(t, "served", want.Result, got.Result)
+					sameStats(t, "served", want.Stats, got.Stats)
+					if want.Impl != got.Impl {
+						t.Errorf("impl stats diverge: %+v vs %+v", want.Impl, got.Impl)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEquivalenceServedGrouped: grouped plans served exclusively are
+// bit-identical to Engine.Exec at Workers 1 and 4, groups included.
+func TestEquivalenceServedGrouped(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			plan := func() *Plan {
+				return Scan("lineitem").
+					Filter("l_discount", CmpGE, 0.05).
+					GroupBy("l_quantity", "l_extendedprice")
+			}
+			eOld, dOld, _ := servedEquivSetup(t, workers)
+			qOld, err := eOld.Compile(dOld, plan())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := eOld.Exec(qOld, ExecOptions{Mode: ModeFixed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eNew, dNew, _ := servedEquivSetup(t, workers)
+			srv, err := NewServer(eNew, ServerConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tk, err := srv.Submit(dNew, plan(), ExecOptions{Mode: ModeFixed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tk.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "served-grouped", want.Result, got.Result)
+			if !reflect.DeepEqual(want.Groups, got.Groups) {
+				t.Errorf("groups diverge:\n old %v\n new %v", want.Groups, got.Groups)
+			}
+		})
+	}
+}
+
 // TestBuildScanRejectsCrossTable pins the satellite fix: predicates on
 // build-side tables are rejected instead of corrupting reads.
 func TestBuildScanRejectsCrossTable(t *testing.T) {

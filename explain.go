@@ -45,6 +45,11 @@ type PlanExplain struct {
 	Group         string
 	GroupTables   int
 	GroupDistinct int
+	// Provenance describes how a workload server most recently obtained
+	// this query — plan-cache hit or fresh compile, feedback warm start or
+	// cold start, and the plan fingerprint ("" when the query has never
+	// been served).
+	Provenance string
 	// Ops describes the operators in evaluation order.
 	Ops []OpExplain
 	// PredictedBNT, PredictedMP, PredictedL3 are the §3 model's counter
@@ -70,8 +75,23 @@ func (p PlanExplain) String() string {
 		fmt.Fprintf(&b, "  group by %s (%d partial table(s), %d-key domain)\n",
 			p.Group, p.GroupTables, p.GroupDistinct)
 	}
+	if p.Provenance != "" {
+		fmt.Fprintf(&b, "served: %s\n", p.Provenance)
+	}
 	fmt.Fprintf(&b, "predicted: BNT=%.0f MP=%.0f L3=%.0f out=%.0f\n",
 		p.PredictedBNT, p.PredictedMP, p.PredictedL3, p.PredictedQualifying)
+	return b.String()
+}
+
+// fmtOrder renders an operator permutation as "2-0-1".
+func fmtOrder(p []int) string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
 	return b.String()
 }
 
@@ -93,6 +113,17 @@ func (e *Engine) Explain(q *Query) (PlanExplain, error) {
 		out.Group = q.group.key + ", " + q.group.value
 		out.GroupTables = len(q.group.tables)
 		out.GroupDistinct = q.group.distinct
+	}
+	if sp := q.served.Load(); sp != nil {
+		src := "compiled (plan-cache miss)"
+		if sp.planCacheHit {
+			src = "plan-cache hit"
+		}
+		warm := "cold start"
+		if sp.warmStart {
+			warm = "feedback warm-start order " + fmtOrder(sp.warmOrder)
+		}
+		out.Provenance = fmt.Sprintf("%s; %s; fingerprint %s", src, warm, sp.fingerprint)
 	}
 	sels := make([]float64, len(q.q.Ops))
 	widths := make([]int, len(q.q.Ops))

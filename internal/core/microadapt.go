@@ -184,6 +184,7 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 				}
 				c.Exec(opt.ReorderCostInstr)
 				st.Reverts++
+				st.ConvergedAtCycles = c.Cycles() - startCycles
 			}
 		}
 
@@ -224,6 +225,7 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 				c.Exec(opt.ReorderCostInstr)
 				st.Reorders++
 				pendingValidation = true
+				st.ConvergedAtCycles = c.Cycles() - startCycles
 			}
 			if eligible {
 				ordered := make([]float64, len(est.Sels))
@@ -238,6 +240,7 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 						c.ResetPredictor()
 					}
 					c.Exec(opt.ReorderCostInstr)
+					st.ConvergedAtCycles = c.Cycles() - startCycles
 				}
 			}
 		} else if runOpt && impl == exec.ImplBranchFree {

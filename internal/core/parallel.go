@@ -26,30 +26,33 @@ type ParallelStats struct {
 //
 // Estimation runs on core 0 while the other cores idle at the block barrier,
 // so its cycle cost extends the makespan; a reorder re-JITs the scan loop on
-// every core (predictor reset + recompile charge).
+// every core (predictor reset + recompile charge). The coordination logic
+// itself lives in BlockStepper, shared with the workload service's
+// scheduler.
 //
 // Query results (Qualifying, Sum) are bit-identical to a serial run and
 // deterministic across worker counts; because the morsel scheduler runs on
 // simulated clocks, cycle counts, counter samples, and optimizer decisions
 // are also fully reproducible run to run.
 func RunParallelProgressive(p *exec.Parallel, q *exec.Query, opt Options) (exec.Result, ParallelStats, error) {
+	r, st, err := runParallelAdaptive(p, q, opt, false)
+	return r, st.ParallelStats, err
+}
+
+// runParallelAdaptive is the shared block loop of the parallel progressive
+// and micro-adaptive drivers: run one block over the whole pool, then let the
+// stepper validate, estimate, reorder, and (micro) choose the scan
+// implementation.
+func runParallelAdaptive(p *exec.Parallel, q *exec.Query, opt Options, micro bool) (exec.Result, ParallelMicroAdaptiveStats, error) {
 	if err := q.Validate(); err != nil {
-		return exec.Result{}, ParallelStats{}, err
+		return exec.Result{}, ParallelMicroAdaptiveStats{}, err
 	}
-	opt.setDefaults()
 	engines := p.Engines()
 	w0 := engines[0].CPU()
-	if opt.Geometry.LineSize == 0 {
-		hier := w0.Profile().Hierarchy
-		opt.Geometry.LineSize = hier.L3.LineSize
-		opt.Geometry.CapacityLines = hier.L3.Lines()
+	s, err := NewBlockStepper(q, w0.Profile(), p.Workers(), micro, opt)
+	if err != nil {
+		return exec.Result{}, ParallelMicroAdaptiveStats{}, err
 	}
-
-	nOps := len(q.Ops)
-	curPerm := identity(nOps)
-	prevPerm := identity(nOps)
-	curQ := q
-	aggWidths := aggColumnWidths(q)
 
 	startSamples := make([]pmu.Sample, len(engines))
 	for i, e := range engines {
@@ -59,8 +62,8 @@ func RunParallelProgressive(p *exec.Parallel, q *exec.Query, opt Options) (exec.
 	n := q.Table.NumRows()
 	vs := p.VectorSize()
 	numVec := p.NumVectors(q)
-	blockVecs := opt.ReopInterval * p.Workers()
-	if opt.ReopInterval <= 0 || blockVecs <= 0 {
+	blockVecs := s.BlockVectors(p.Workers())
+	if blockVecs <= 0 {
 		blockVecs = numVec // no re-optimization: one block
 	}
 	if blockVecs <= 0 {
@@ -68,82 +71,30 @@ func RunParallelProgressive(p *exec.Parallel, q *exec.Query, opt Options) (exec.
 	}
 
 	var out exec.Result
-	st := ParallelStats{Workers: p.Workers()}
 	var totalCycles uint64
-	prevCostPerVec := -1.0
-	pendingValidation := false
 
 	for v0 := 0; v0 < numVec; v0 += blockVecs {
 		v1 := v0 + blockVecs
 		if v1 > numVec {
 			v1 = numVec
 		}
-		br, err := p.RunBlock(curQ, v0, v1)
+		br, err := p.RunBlockImpl(s.Query(), v0, v1, s.Impl())
 		if err != nil {
-			return exec.Result{}, ParallelStats{}, err
+			return exec.Result{}, ParallelMicroAdaptiveStats{}, err
 		}
-		st.Blocks++
 		out.Qualifying += br.Qualifying
 		out.Sum += br.Sum
 		out.Vectors += br.Vectors
 		totalCycles += br.MaxCycles
-		costPerVec := float64(br.MaxCycles) / float64(br.Vectors)
-
-		if pendingValidation && !opt.DisableValidation {
-			pendingValidation = false
-			if prevCostPerVec > 0 && costPerVec > prevCostPerVec*(1+opt.ValidationTolerance) {
-				// Deteriorated: re-establish the previous order on all cores.
-				curPerm = append([]int(nil), prevPerm...)
-				curQ, err = q.WithOrder(curPerm)
-				if err != nil {
-					return exec.Result{}, ParallelStats{}, err
-				}
-				totalCycles += recompileAll(p, opt)
-				st.Reverts++
-			}
+		tuples := v1*vs - v0*vs
+		if v1*vs > n {
+			tuples = n - v0*vs
 		}
-
-		if opt.ReopInterval > 0 && v1 < numVec {
-			// Estimation epoch on the coordinator core.
-			c0 := w0.Cycles()
-			w0.Exec(opt.SampleCostInstr)
-			tuples := v1*vs - v0*vs
-			if v1*vs > n {
-				tuples = n - v0*vs
-			}
-			sample := SampleFromPMU(br.Counters, tuples)
-			cfg := EstimatorConfig{
-				Widths:    opWidths(curQ),
-				AggWidths: aggWidths,
-				Geometry:  opt.Geometry,
-				Chain:     opt.Chain,
-				MaxStarts: opt.MaxStartsOverride,
-			}
-			est, err := EstimateSelectivities(sample, cfg)
-			if err != nil {
-				return exec.Result{}, ParallelStats{}, err
-			}
-			st.Optimizations++
-			st.EstimatorEvaluations += est.NMEvaluations
-			st.LastEstimate = est.Sels
-			w0.Exec(est.NMEvaluations * opt.NMEvalCostInstr)
-			totalCycles += w0.Cycles() - c0
-
-			order := AscendingOrder(est.Sels)
-			newPerm := compose(curPerm, order)
-			if !equalPerm(newPerm, curPerm) {
-				prevPerm = append([]int(nil), curPerm...)
-				curPerm = newPerm
-				curQ, err = q.WithOrder(curPerm)
-				if err != nil {
-					return exec.Result{}, ParallelStats{}, err
-				}
-				totalCycles += recompileAll(p, opt)
-				st.Reorders++
-				pendingValidation = true
-			}
+		extra, err := s.AfterBlock(br, tuples, v1 == numVec, w0, engines)
+		if err != nil {
+			return exec.Result{}, ParallelMicroAdaptiveStats{}, err
 		}
-		prevCostPerVec = costPerVec
+		totalCycles += extra
 	}
 
 	out.Cycles = totalCycles
@@ -153,26 +104,7 @@ func RunParallelProgressive(p *exec.Parallel, q *exec.Query, opt Options) (exec.
 		merged = merged.Add(e.CPU().Sample().Sub(startSamples[i]))
 	}
 	out.Counters = merged
+	st := s.Stats()
 	st.Vectors = out.Vectors
-	st.FinalOrder = curPerm
 	return out, st, nil
-}
-
-// recompileAll re-JITs the scan loop on every core (new branch addresses,
-// re-chained primitives) and returns the resulting makespan extension: the
-// largest per-core cycle delta of the recompile.
-func recompileAll(p *exec.Parallel, opt Options) uint64 {
-	var max uint64
-	for _, e := range p.Engines() {
-		c := e.CPU()
-		c0 := c.Cycles()
-		if !opt.DisablePredictorReset {
-			c.ResetPredictor()
-		}
-		c.Exec(opt.ReorderCostInstr)
-		if d := c.Cycles() - c0; d > max {
-			max = d
-		}
-	}
-	return max
 }

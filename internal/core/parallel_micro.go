@@ -2,7 +2,6 @@ package core
 
 import (
 	"progopt/internal/exec"
-	"progopt/internal/hw/pmu"
 )
 
 // ParallelMicroAdaptiveStats extends ParallelStats with the implementation
@@ -29,167 +28,11 @@ type ParallelMicroAdaptiveStats struct {
 // While running branch-free the merged counters carry no per-predicate
 // branch signal, so the driver returns to the branching scan for one
 // sampling block every few optimization points (the serial driver's
-// resampling policy at block granularity).
+// resampling policy at block granularity). The coordination lives in
+// BlockStepper, shared with RunParallelProgressive and the workload service.
 //
 // Query results are bit-identical to the serial micro-adaptive driver and
 // deterministic across worker counts; cycle counts are makespans.
 func RunParallelMicroAdaptive(p *exec.Parallel, q *exec.Query, opt Options) (exec.Result, ParallelMicroAdaptiveStats, error) {
-	if err := q.Validate(); err != nil {
-		return exec.Result{}, ParallelMicroAdaptiveStats{}, err
-	}
-	opt.setDefaults()
-	engines := p.Engines()
-	w0 := engines[0].CPU()
-	if opt.Geometry.LineSize == 0 {
-		hier := w0.Profile().Hierarchy
-		opt.Geometry.LineSize = hier.L3.LineSize
-		opt.Geometry.CapacityLines = hier.L3.Lines()
-	}
-	eligible := exec.BranchFreeEligible(q)
-	costP := DefaultImplCostParams()
-	costP.Chain = opt.Chain
-
-	nOps := len(q.Ops)
-	curPerm := identity(nOps)
-	prevPerm := identity(nOps)
-	curQ := q
-	aggWidths := aggColumnWidths(q)
-	impl := exec.ImplBranching
-	// resampleEvery spaces the sampling blocks while running branch-free,
-	// mirroring the serial driver.
-	const resampleEvery = 3
-	bfOptPoints := 0
-
-	startSamples := make([]pmu.Sample, len(engines))
-	for i, e := range engines {
-		startSamples[i] = e.CPU().Sample()
-	}
-
-	n := q.Table.NumRows()
-	vs := p.VectorSize()
-	numVec := p.NumVectors(q)
-	blockVecs := opt.ReopInterval * p.Workers()
-	if opt.ReopInterval <= 0 || blockVecs <= 0 {
-		blockVecs = numVec // no re-optimization: one block
-	}
-	if blockVecs <= 0 {
-		blockVecs = 1
-	}
-
-	var out exec.Result
-	st := ParallelMicroAdaptiveStats{ParallelStats: ParallelStats{Workers: p.Workers()}}
-	var totalCycles uint64
-	prevCostPerVec := -1.0
-	pendingValidation := false
-
-	for v0 := 0; v0 < numVec; v0 += blockVecs {
-		v1 := v0 + blockVecs
-		if v1 > numVec {
-			v1 = numVec
-		}
-		br, err := p.RunBlockImpl(curQ, v0, v1, impl)
-		if err != nil {
-			return exec.Result{}, ParallelMicroAdaptiveStats{}, err
-		}
-		st.Blocks++
-		if impl == exec.ImplBranchFree {
-			st.BranchFreeVectors += br.Vectors
-		} else {
-			st.BranchingVectors += br.Vectors
-		}
-		out.Qualifying += br.Qualifying
-		out.Sum += br.Sum
-		out.Vectors += br.Vectors
-		totalCycles += br.MaxCycles
-		costPerVec := float64(br.MaxCycles) / float64(br.Vectors)
-
-		if pendingValidation && !opt.DisableValidation {
-			pendingValidation = false
-			if prevCostPerVec > 0 && costPerVec > prevCostPerVec*(1+opt.ValidationTolerance) {
-				// Deteriorated: re-establish the previous order on all cores.
-				curPerm = append([]int(nil), prevPerm...)
-				curQ, err = q.WithOrder(curPerm)
-				if err != nil {
-					return exec.Result{}, ParallelMicroAdaptiveStats{}, err
-				}
-				totalCycles += recompileAll(p, opt)
-				st.Reverts++
-			}
-		}
-
-		runOpt := opt.ReopInterval > 0 && v1 < numVec
-		// Estimation requires the branching scan's counters; branch-free
-		// blocks carry no per-predicate branch signal.
-		if runOpt && impl == exec.ImplBranching {
-			c0 := w0.Cycles()
-			w0.Exec(opt.SampleCostInstr)
-			tuples := v1*vs - v0*vs
-			if v1*vs > n {
-				tuples = n - v0*vs
-			}
-			sample := SampleFromPMU(br.Counters, tuples)
-			cfg := EstimatorConfig{
-				Widths:    opWidths(curQ),
-				AggWidths: aggWidths,
-				Geometry:  opt.Geometry,
-				Chain:     opt.Chain,
-				MaxStarts: opt.MaxStartsOverride,
-			}
-			est, err := EstimateSelectivities(sample, cfg)
-			if err != nil {
-				return exec.Result{}, ParallelMicroAdaptiveStats{}, err
-			}
-			st.Optimizations++
-			st.EstimatorEvaluations += est.NMEvaluations
-			st.LastEstimate = est.Sels
-			w0.Exec(est.NMEvaluations * opt.NMEvalCostInstr)
-			totalCycles += w0.Cycles() - c0
-
-			order := AscendingOrder(est.Sels)
-			newPerm := compose(curPerm, order)
-			if !equalPerm(newPerm, curPerm) {
-				prevPerm = append([]int(nil), curPerm...)
-				curPerm = newPerm
-				curQ, err = q.WithOrder(curPerm)
-				if err != nil {
-					return exec.Result{}, ParallelMicroAdaptiveStats{}, err
-				}
-				totalCycles += recompileAll(p, opt)
-				st.Reorders++
-				pendingValidation = true
-			}
-			if eligible {
-				ordered := make([]float64, len(est.Sels))
-				for i, o := range order {
-					ordered[i] = est.Sels[o]
-				}
-				next := ChooseImpl(ordered, costP)
-				if next != impl {
-					st.ImplSwitches++
-					impl = next
-					totalCycles += recompileAll(p, opt)
-				}
-			}
-		} else if runOpt && impl == exec.ImplBranchFree {
-			bfOptPoints++
-			if bfOptPoints >= resampleEvery {
-				bfOptPoints = 0
-				st.ImplSwitches++
-				impl = exec.ImplBranching
-				totalCycles += recompileAll(p, opt)
-			}
-		}
-		prevCostPerVec = costPerVec
-	}
-
-	out.Cycles = totalCycles
-	out.Millis = w0.MillisOf(totalCycles)
-	var merged pmu.Sample
-	for i, e := range engines {
-		merged = merged.Add(e.CPU().Sample().Sub(startSamples[i]))
-	}
-	out.Counters = merged
-	st.Vectors = out.Vectors
-	st.FinalOrder = curPerm
-	return out, st, nil
+	return runParallelAdaptive(p, q, opt, true)
 }

@@ -89,6 +89,12 @@ type Stats struct {
 	EstimatorEvaluations int
 	// Explorations counts §4.5 correlation probes issued.
 	Explorations int
+	// ConvergedAtCycles is the run's cycle clock at the last change the
+	// optimizer applied (reorder, revert, exploration, or implementation
+	// switch): the cycles spent before the run settled on its final plan.
+	// Zero means the initial order was never changed — the signature of a
+	// feedback-cache warm start that began at the converged order.
+	ConvergedAtCycles uint64
 }
 
 // RunProgressive executes the query vector-at-a-time with progressive
@@ -168,6 +174,7 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 				}
 				c.Exec(opt.ReorderCostInstr)
 				st.Reverts++
+				st.ConvergedAtCycles = c.Cycles() - startCycles
 			}
 		}
 
@@ -192,6 +199,7 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 			}
 			c.Exec(opt.ReorderCostInstr)
 			pendingValidation = true
+			st.ConvergedAtCycles = c.Cycles() - startCycles
 			prevVecCycles = vecCycles
 			continue
 		}
@@ -229,6 +237,7 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 				c.Exec(opt.ReorderCostInstr)
 				st.Reorders++
 				pendingValidation = true
+				st.ConvergedAtCycles = c.Cycles() - startCycles
 			} else {
 				stableCycles++
 			}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"progopt/internal/exec"
+	"progopt/internal/hw/cpu"
+)
+
+// BlockStepper holds the between-block coordination state of block-granular
+// progressive (and micro-adaptive) execution: the current operator
+// permutation, the pending validation against the previous block's
+// per-vector cost, the selectivity estimation over merged per-core PMU
+// deltas, and — in micro mode — the branching/branch-free implementation
+// choice. It is the shared brain of RunParallelProgressive,
+// RunParallelMicroAdaptive, and the workload service's scheduler, which
+// drives the same coordination while the query runs on a *dynamic* subset of
+// cores: the stepper never talks to the morsel scheduler, it only consumes
+// finished BlockResults and tells the caller which query order and scan
+// implementation the next block must run.
+type BlockStepper struct {
+	base *exec.Query
+	opt  Options
+
+	micro    bool
+	eligible bool
+	costP    ImplCostParams
+
+	curPerm, prevPerm []int
+	curQ              *exec.Query
+	aggWidths         []int
+
+	impl        exec.ScanImpl
+	bfOptPoints int
+
+	prevCostPerVec    float64
+	pendingValidation bool
+
+	// accounted is the simulated cycle cost attributed to the query so far
+	// (block makespans plus coordination), the clock ConvergedAtCycles is
+	// stamped from.
+	accounted uint64
+
+	st ParallelMicroAdaptiveStats
+}
+
+// bfResampleEvery spaces the branching sampling blocks while running
+// branch-free (the serial micro-adaptive driver's resampling policy at block
+// granularity).
+const bfResampleEvery = 3
+
+// NewBlockStepper builds the coordination state for one query. prof supplies
+// the cache geometry the estimator defaults to; workers is reported in the
+// stats (the pool size the run is scheduled on). micro enables per-block
+// implementation choice.
+func NewBlockStepper(q *exec.Query, prof cpu.Profile, workers int, micro bool, opt Options) (*BlockStepper, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+	if opt.Geometry.LineSize == 0 {
+		hier := prof.Hierarchy
+		opt.Geometry.LineSize = hier.L3.LineSize
+		opt.Geometry.CapacityLines = hier.L3.Lines()
+	}
+	costP := DefaultImplCostParams()
+	costP.Chain = opt.Chain
+	nOps := len(q.Ops)
+	s := &BlockStepper{
+		base:     q,
+		opt:      opt,
+		micro:    micro,
+		eligible: micro && exec.BranchFreeEligible(q),
+		costP:    costP,
+		curPerm:  identity(nOps),
+		prevPerm: identity(nOps),
+		curQ:     q,
+
+		aggWidths:      aggColumnWidths(q),
+		impl:           exec.ImplBranching,
+		prevCostPerVec: -1.0,
+	}
+	s.st.Workers = workers
+	return s, nil
+}
+
+// Query returns the query in its current operator order; the next block must
+// execute it.
+func (s *BlockStepper) Query() *exec.Query { return s.curQ }
+
+// Impl returns the scan implementation the next block must run
+// (ImplBranching unless a micro stepper chose predication).
+func (s *BlockStepper) Impl() exec.ScanImpl { return s.impl }
+
+// SetImpl overrides the initial scan implementation (feedback-cache warm
+// start). Only meaningful before the first block of a micro stepper.
+func (s *BlockStepper) SetImpl(impl exec.ScanImpl) {
+	if s.micro && s.eligible {
+		s.impl = impl
+	}
+}
+
+// BlockVectors returns how many vectors the next optimization block spans on
+// k cores (ReopInterval per core), or 0 when re-optimization is disabled.
+func (s *BlockStepper) BlockVectors(k int) int {
+	if s.opt.ReopInterval <= 0 {
+		return 0
+	}
+	return s.opt.ReopInterval * k
+}
+
+// AfterBlock runs the coordination that follows one finished morsel block:
+// validate the previous reorder against the block's per-vector cost (revert
+// on regression), and — unless the block was the query's last — sample the
+// merged counters, estimate selectivities, reorder by ascending estimate,
+// and in micro mode choose the next block's scan implementation. tuples is
+// the number of driving-table tuples the block covered. coord is the core
+// the estimation runs on (the others idle at the block barrier); engines are
+// the cores currently executing the query, each of which pays the recompile
+// of a reorder or implementation switch. The returned cycles are the
+// makespan extension of the coordination; the caller adds them to the
+// query's clock.
+func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, coord *cpu.CPU, engines []*exec.Engine) (uint64, error) {
+	s.st.Blocks++
+	if s.micro {
+		if s.impl == exec.ImplBranchFree {
+			s.st.BranchFreeVectors += br.Vectors
+		} else {
+			s.st.BranchingVectors += br.Vectors
+		}
+	}
+	s.accounted += br.MaxCycles
+	changed := false
+	var extra uint64
+	costPerVec := float64(br.MaxCycles) / float64(br.Vectors)
+
+	if s.pendingValidation && !s.opt.DisableValidation {
+		s.pendingValidation = false
+		if s.prevCostPerVec > 0 && costPerVec > s.prevCostPerVec*(1+s.opt.ValidationTolerance) {
+			// Deteriorated: re-establish the previous order on every core.
+			s.curPerm = append([]int(nil), s.prevPerm...)
+			var err error
+			s.curQ, err = s.base.WithOrder(s.curPerm)
+			if err != nil {
+				return 0, err
+			}
+			extra += recompileEngines(engines, s.opt)
+			s.st.Reverts++
+			changed = true
+		}
+	}
+
+	runOpt := s.opt.ReopInterval > 0 && !last
+	if runOpt && s.impl == exec.ImplBranching {
+		// Estimation epoch on the coordinator core.
+		c0 := coord.Cycles()
+		coord.Exec(s.opt.SampleCostInstr)
+		sample := SampleFromPMU(br.Counters, tuples)
+		cfg := EstimatorConfig{
+			Widths:    opWidths(s.curQ),
+			AggWidths: s.aggWidths,
+			Geometry:  s.opt.Geometry,
+			Chain:     s.opt.Chain,
+			MaxStarts: s.opt.MaxStartsOverride,
+		}
+		est, err := EstimateSelectivities(sample, cfg)
+		if err != nil {
+			return 0, err
+		}
+		s.st.Optimizations++
+		s.st.EstimatorEvaluations += est.NMEvaluations
+		s.st.LastEstimate = est.Sels
+		coord.Exec(est.NMEvaluations * s.opt.NMEvalCostInstr)
+		extra += coord.Cycles() - c0
+
+		order := AscendingOrder(est.Sels)
+		newPerm := compose(s.curPerm, order)
+		if !equalPerm(newPerm, s.curPerm) {
+			s.prevPerm = append([]int(nil), s.curPerm...)
+			s.curPerm = newPerm
+			s.curQ, err = s.base.WithOrder(s.curPerm)
+			if err != nil {
+				return 0, err
+			}
+			extra += recompileEngines(engines, s.opt)
+			s.st.Reorders++
+			s.pendingValidation = true
+			changed = true
+		}
+		if s.eligible {
+			ordered := make([]float64, len(est.Sels))
+			for i, o := range order {
+				ordered[i] = est.Sels[o]
+			}
+			next := ChooseImpl(ordered, s.costP)
+			if next != s.impl {
+				s.st.ImplSwitches++
+				s.impl = next
+				extra += recompileEngines(engines, s.opt)
+				changed = true
+			}
+		}
+	} else if runOpt && s.impl == exec.ImplBranchFree {
+		// Branch-free blocks carry no per-predicate branch signal; return to
+		// the branching scan for one sampling block every few points.
+		s.bfOptPoints++
+		if s.bfOptPoints >= bfResampleEvery {
+			s.bfOptPoints = 0
+			s.st.ImplSwitches++
+			s.impl = exec.ImplBranching
+			extra += recompileEngines(engines, s.opt)
+		}
+	}
+	s.prevCostPerVec = costPerVec
+	s.accounted += extra
+	if changed {
+		s.st.ConvergedAtCycles = s.accounted
+	}
+	return extra, nil
+}
+
+// Stats snapshots the coordination telemetry; FinalOrder is the permutation
+// currently in effect (relative to the stepper's base query).
+func (s *BlockStepper) Stats() ParallelMicroAdaptiveStats {
+	st := s.st
+	st.FinalOrder = append([]int(nil), s.curPerm...)
+	return st
+}
+
+// recompileEngines re-JITs the scan loop on every given core (new branch
+// addresses, re-chained primitives) and returns the resulting makespan
+// extension: the largest per-core cycle delta of the recompile.
+func recompileEngines(engines []*exec.Engine, opt Options) uint64 {
+	var max uint64
+	for _, e := range engines {
+		c := e.CPU()
+		c0 := c.Cycles()
+		if !opt.DisablePredictorReset {
+			c.ResetPredictor()
+		}
+		c.Exec(opt.ReorderCostInstr)
+		if d := c.Cycles() - c0; d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -124,29 +124,81 @@ func (p *Parallel) RunBlock(q *Query, vecLo, vecHi int) (BlockResult, error) {
 // micro-adaptive driver runs whole morsel blocks branch-free when the merged
 // counters say predication is cheaper on every core.
 func (p *Parallel) RunBlockImpl(q *Query, vecLo, vecHi int, impl ScanImpl) (BlockResult, error) {
+	cores := make([]int, len(p.workers))
+	for i := range cores {
+		cores[i] = i
+	}
+	clocks := make([]uint64, len(p.workers))
+	return p.RunBlockSubset(q, vecLo, vecHi, cores, clocks, impl, nil)
+}
+
+// RunBlockSubset executes vectors [vecLo, vecHi) of the query morsel-driven
+// on a dynamic subset of the pool's cores — the primitive the workload
+// service partitions cores across concurrent queries with. cores lists the
+// participating core ids in strictly ascending order; clocks[i] is the
+// absolute simulated time core cores[i] is next free, continued from the
+// caller's discrete-event state and updated in place. Each morsel goes to
+// the subset core whose clock is smallest (ties to the lowest position), so
+// a core that enters the block behind the others naturally backfills first —
+// the same self-balancing rule RunBlock applies from an even start.
+//
+// The returned BlockResult reports WorkerCycles[i] as the busy cycles core
+// cores[i] consumed in this call, MaxCycles as the block makespan measured
+// from the earliest entry clock, and Counters as the subset's merged PMU
+// deltas. With the full pool and zero entry clocks this is exactly
+// RunBlockImpl.
+//
+// sum, when non-nil, receives the per-vector aggregate contributions in
+// global vector order and BlockResult.Sum stays zero: a caller that splits
+// one logical scan into many scheduling quanta accumulates into the same
+// float across all of them, preserving the exact addition order (and
+// therefore the bit pattern) of an unsplit run. With sum == nil the block's
+// contribution is reduced into BlockResult.Sum, the dedicated drivers'
+// per-block contract.
+func (p *Parallel) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clocks []uint64, impl ScanImpl, sum *float64) (BlockResult, error) {
 	if err := q.Validate(); err != nil {
 		return BlockResult{}, err
+	}
+	if len(cores) == 0 {
+		return BlockResult{}, fmt.Errorf("exec: block needs at least one core")
+	}
+	if len(clocks) != len(cores) {
+		return BlockResult{}, fmt.Errorf("exec: %d clocks for %d cores", len(clocks), len(cores))
+	}
+	for i, w := range cores {
+		if w < 0 || w >= len(p.workers) {
+			return BlockResult{}, fmt.Errorf("exec: core %d outside pool of %d", w, len(p.workers))
+		}
+		if i > 0 && w <= cores[i-1] {
+			return BlockResult{}, fmt.Errorf("exec: core subset %v not strictly ascending", cores)
+		}
 	}
 	n := q.Table.NumRows()
 	numVec := (n + p.vectorSize - 1) / p.vectorSize
 	if vecLo < 0 || vecHi > numVec || vecLo > vecHi {
 		return BlockResult{}, fmt.Errorf("exec: block [%d,%d) outside %d vectors", vecLo, vecHi, numVec)
 	}
-	nw := len(p.workers)
-	clocks := make([]uint64, nw)
+	nw := len(cores)
+	entryMin := clocks[0]
+	for _, cl := range clocks[1:] {
+		if cl < entryMin {
+			entryMin = cl
+		}
+	}
+	busy := make([]uint64, nw)
 	startSamples := make([]pmu.Sample, nw)
-	for w, eng := range p.workers {
-		startSamples[w] = eng.CPU().Sample()
+	for i, w := range cores {
+		startSamples[i] = p.workers[w].CPU().Sample()
 	}
 	var out BlockResult
 	for v := vecLo; v < vecHi; v++ {
-		w := 0
-		for i := 1; i < nw; i++ {
-			if clocks[i] < clocks[w] {
-				w = i
+		i := 0
+		for j := 1; j < nw; j++ {
+			if clocks[j] < clocks[i] {
+				i = j
 			}
 		}
-		eng := p.workers[w]
+		eng := p.workers[cores[i]]
 		c := eng.CPU()
 		c0 := c.Cycles()
 		lo := v * p.vectorSize
@@ -158,17 +210,27 @@ func (p *Parallel) RunBlockImpl(q *Query, vecLo, vecHi int, impl ScanImpl) (Bloc
 		if err != nil {
 			return BlockResult{}, err
 		}
-		clocks[w] += c.Cycles() - c0
+		d := c.Cycles() - c0
+		clocks[i] += d
+		busy[i] += d
 		out.Qualifying += vr.Qualifying
-		out.Sum += vr.Sum
+		if sum != nil {
+			*sum += vr.Sum
+		} else {
+			out.Sum += vr.Sum
+		}
 		out.Vectors++
 	}
-	out.WorkerCycles = clocks
-	for w, eng := range p.workers {
-		if clocks[w] > out.MaxCycles {
-			out.MaxCycles = clocks[w]
+	out.WorkerCycles = busy
+	if out.Vectors > 0 {
+		for _, cl := range clocks {
+			if cl-entryMin > out.MaxCycles {
+				out.MaxCycles = cl - entryMin
+			}
 		}
-		out.Counters = out.Counters.Add(eng.CPU().Sample().Sub(startSamples[w]))
+	}
+	for i, w := range cores {
+		out.Counters = out.Counters.Add(p.workers[w].CPU().Sample().Sub(startSamples[i]))
 	}
 	return out, nil
 }

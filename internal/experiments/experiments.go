@@ -158,6 +158,7 @@ func All() []Experiment {
 		{"ext-static", "Extension: static histogram optimizer v. progressive", ExtStatic},
 		{"ext-parallel", "Extension: morsel-driven multi-core scaling", ExtParallel},
 		{"ext-groupby", "Extension: morsel-driven grouped aggregation", ExtGroupBy},
+		{"ext-serve", "Extension: workload service — concurrency, latency, feedback cache", ExtServe},
 	}
 }
 

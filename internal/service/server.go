@@ -1,0 +1,736 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"progopt/internal/core"
+	"progopt/internal/exec"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/hw/pmu"
+)
+
+// Mode mirrors the public execution modes.
+type Mode int
+
+// Execution modes.
+const (
+	ModeFixed Mode = iota
+	ModeProgressive
+	ModeMicroAdaptive
+)
+
+// Config configures a workload server.
+type Config struct {
+	// MaxActive is the admission controller's cap on queries sharing the
+	// pool concurrently (default: the pool's worker count). Submissions
+	// beyond it queue in (arrival, submission) order.
+	MaxActive int
+	// QueueLimit caps the pending queue; Submit rejects beyond it
+	// (0 = unlimited).
+	QueueLimit int
+	// QuantumVectors is the scheduling quantum of fixed-order queries:
+	// morsels per assigned core between scheduling decisions (default 10,
+	// matching the progressive drivers' default re-optimization interval).
+	// Adaptive queries schedule at their own optimization-block granularity.
+	QuantumVectors int
+	// FeedbackCacheSize bounds the PMU-feedback cache (default 64 plans).
+	FeedbackCacheSize int
+}
+
+// Request is one query submission.
+type Request struct {
+	// Query is the compiled, bound query (its operator order is the plan
+	// order the optimizer starts from).
+	Query *exec.Query
+	// Groups, when non-nil, makes this a grouped aggregation: one partial
+	// hash table per pool core. Grouped queries run exclusively (they own
+	// the whole pool) and must use ModeFixed.
+	Groups []*exec.GroupBy
+	// Mode selects fixed, progressive, or micro-adaptive execution.
+	Mode Mode
+	// Opt configures the progressive optimizer for adaptive modes.
+	Opt core.Options
+	// Arrival is the simulated time the query arrives at the server; it
+	// cannot consume core cycles earlier.
+	Arrival uint64
+	// Fingerprint keys the feedback cache. Zero disables feedback for this
+	// submission.
+	Fingerprint Fingerprint
+	// NoFeedback skips the feedback warm-start lookup and the converged-
+	// order store (cold runs, ablation experiments).
+	NoFeedback bool
+}
+
+// Feedback is what a finished adaptive run leaves for the next submission of
+// the same fingerprint: the operator order it converged to (plan-order
+// indexes) and, for micro-adaptive runs, the scan implementation it ended
+// on. A warm-started run begins at this order instead of the plan order.
+type Feedback struct {
+	Order []int
+	Impl  exec.ScanImpl
+}
+
+// Stats counts server activity. All times are simulated.
+type Stats struct {
+	// Submitted/Admitted/Rejected/Completed count queries through the
+	// admission controller.
+	Submitted, Admitted, Rejected, Completed int
+	// PeakActive and PeakQueued are high-water marks.
+	PeakActive, PeakQueued int
+	// FeedbackWarmStarts counts submissions that began at a cached
+	// converged order; FeedbackStores counts completed adaptive runs that
+	// deposited one.
+	FeedbackWarmStarts, FeedbackStores int
+	// MakespanCycles is the largest per-core clock: the simulated time the
+	// pool has been driven to.
+	MakespanCycles uint64
+}
+
+// Outcome reports one completed query.
+type Outcome struct {
+	// Result carries the per-query output: Qualifying, Sum, Counters (the
+	// PMU deltas of exactly this query's morsels and coordination), and
+	// Cycles/Millis as the query's execution span on its cores — for a
+	// query that had the pool to itself, bit-identical to a dedicated
+	// Engine run.
+	exec.Result
+	// Groups is the grouped-aggregation output (nil for plain scans).
+	Groups []exec.Group
+	// Stats is the optimizer telemetry (zero-valued under ModeFixed);
+	// FinalOrder is in plan-order indexes even after a warm start.
+	Stats core.ParallelMicroAdaptiveStats
+	// Arrival, Start, and Done are simulated timestamps; Done-Arrival is
+	// the query's latency including queueing, Start-Arrival the queueing
+	// delay alone.
+	Arrival, Start, Done uint64
+	// WarmStarted reports a feedback-cache warm start; WarmOrder is the
+	// order it began at.
+	WarmStarted bool
+	WarmOrder   []int
+}
+
+// query states.
+const (
+	stateQueued = iota
+	stateActive
+	stateDone
+)
+
+// query is the scheduler's per-submission state.
+type query struct {
+	seq      int
+	req      Request
+	base     *exec.Query // req.Query, reordered on a warm start
+	warm     []int       // applied warm order (nil = cold)
+	warmImpl exec.ScanImpl
+	step     *core.BlockStepper // nil for fixed-order and grouped queries
+
+	numVec, cursor int
+	cores          []int // current core subset, ascending; empty = descheduled
+
+	startSet             bool
+	arrival, start, done uint64
+	busy                 uint64
+	millis               float64
+	counters             pmu.Sample
+	qual                 int64
+	sum                  float64
+	vectors              int
+	groups               []exec.Group
+	st                   core.ParallelMicroAdaptiveStats
+
+	state int
+	err   error
+}
+
+func (q *query) grouped() bool { return len(q.req.Groups) > 0 }
+
+// Server runs many concurrent queries against one shared pool of simulated
+// cores as a discrete-event simulation: per-core absolute clocks, morsel
+// dispensing to the earliest-free core of each query's subset, and a fair
+// partitioner that splits the pool across active queries (re-partitioned
+// whenever admissions or completions change the active set; rotated every
+// round when queries outnumber cores). A core switching to a different
+// query starts cold (cache flush + predictor reset), modeling the JIT'd
+// per-query scan loop — so a query that has the pool to itself executes
+// exactly like a dedicated engine run.
+//
+// There is no background goroutine and no host time anywhere: Ticket.Wait
+// drives scheduling rounds under the server lock, so a fixed submission
+// trace yields bit-identical results, latencies, and makespan on every run,
+// from any number of waiting goroutines, at any GOMAXPROCS.
+type Server struct {
+	mu   sync.Mutex
+	pool *exec.Parallel
+	prof cpu.Profile
+	cfg  Config
+
+	clock []uint64 // absolute simulated time each core is next free
+	owner []*query // query each core last executed (cold-switch detection)
+
+	queue  []*query // waiting, sorted by (arrival, seq)
+	active []*query // admitted, in admission order
+	seq    int
+	rounds uint64
+
+	membershipChanged bool
+
+	feedback *LRU
+	stats    Stats
+}
+
+// New builds a server with its own pool of worker cores of the given
+// profile (fresh cores; queries must be bound into the shared address-space
+// convention, e.g. via an engine's BindQuery or the server's).
+func New(prof cpu.Profile, workers, vectorSize int, scalar bool, cfg Config) (*Server, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	p, err := exec.NewParallel(prof, workers, vectorSize)
+	if err != nil {
+		return nil, err
+	}
+	p.SetScalar(scalar)
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = workers
+	}
+	if cfg.QuantumVectors <= 0 {
+		cfg.QuantumVectors = 10
+	}
+	if cfg.FeedbackCacheSize <= 0 {
+		cfg.FeedbackCacheSize = 64
+	}
+	return &Server{
+		pool:              p,
+		prof:              prof,
+		cfg:               cfg,
+		clock:             make([]uint64, workers),
+		owner:             make([]*query, workers),
+		membershipChanged: true,
+		feedback:          NewLRU(cfg.FeedbackCacheSize),
+	}, nil
+}
+
+// Workers returns the pool size.
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// BindQuery binds a query's columns through the pool's address space (no-op
+// for columns an engine already bound).
+func (s *Server) BindQuery(q *exec.Query) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.BindQuery(q)
+}
+
+// Now returns the earliest simulated time any core can take new work — the
+// default arrival stamp for submissions that do not carry one.
+func (s *Server) Now() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	min := s.clock[0]
+	for _, cl := range s.clock[1:] {
+		if cl < min {
+			min = cl
+		}
+	}
+	return min
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	for _, cl := range s.clock {
+		if cl > st.MakespanCycles {
+			st.MakespanCycles = cl
+		}
+	}
+	return st
+}
+
+// Ticket is the handle to one submission.
+type Ticket struct {
+	s *Server
+	q *query
+}
+
+// Submit enqueues a query. The call only validates, consults the feedback
+// cache, and queues; execution happens inside Ticket.Wait's scheduling
+// rounds. Submissions are ordered by (Arrival, submission sequence); for a
+// deterministic workload, submit the trace in order before (or while)
+// waiting.
+func (s *Server) Submit(req Request) (*Ticket, error) {
+	if req.Query == nil {
+		return nil, fmt.Errorf("service: Submit needs a query")
+	}
+	switch req.Mode {
+	case ModeFixed, ModeProgressive, ModeMicroAdaptive:
+	default:
+		return nil, fmt.Errorf("service: unknown mode %d", int(req.Mode))
+	}
+	if err := req.Query.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(req.Groups) > 0 {
+		if req.Mode != ModeFixed {
+			return nil, fmt.Errorf("service: grouped queries must use ModeFixed")
+		}
+		if len(req.Groups) != s.pool.Workers() {
+			return nil, fmt.Errorf("service: %d partial group tables for a %d-core pool", len(req.Groups), s.pool.Workers())
+		}
+	}
+	s.stats.Submitted++
+	if s.cfg.QueueLimit > 0 && len(s.queue) >= s.cfg.QueueLimit {
+		s.stats.Rejected++
+		return nil, fmt.Errorf("service: queue full (%d pending, limit %d)", len(s.queue), s.cfg.QueueLimit)
+	}
+	q := &query{seq: s.seq, req: req, arrival: req.Arrival, state: stateQueued}
+	s.seq++
+
+	i := sort.Search(len(s.queue), func(i int) bool {
+		o := s.queue[i]
+		return o.arrival > q.arrival || (o.arrival == q.arrival && o.seq > q.seq)
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = q
+	if len(s.queue) > s.stats.PeakQueued {
+		s.stats.PeakQueued = len(s.queue)
+	}
+	return &Ticket{s: s, q: q}, nil
+}
+
+// Wait drives scheduling rounds until the ticket's query completes and
+// returns its outcome. Safe to call from any goroutine; rounds run under
+// the server lock, so concurrent waiters take turns advancing the same
+// deterministic simulation.
+func (t *Ticket) Wait() (Outcome, error) {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for t.q.state != stateDone {
+		if err := s.roundLocked(); err != nil {
+			s.failAllLocked(err)
+		}
+	}
+	if t.q.err != nil {
+		return Outcome{}, t.q.err
+	}
+	return t.q.outcome(), nil
+}
+
+// WarmStarted reports whether the submission began at a feedback-cached
+// order, and that order. The decision is made when the admission controller
+// activates the query (the latest point the feedback of completed runs is
+// visible), so it reads false until then.
+func (t *Ticket) WarmStarted() (bool, []int) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.q.warm == nil {
+		return false, nil
+	}
+	return true, append([]int(nil), t.q.warm...)
+}
+
+// outcome flattens a finished query.
+func (q *query) outcome() Outcome {
+	return Outcome{
+		Result: exec.Result{
+			Qualifying: q.qual,
+			Sum:        q.sum,
+			Cycles:     q.busy,
+			Millis:     q.millis,
+			Counters:   q.counters,
+			Vectors:    q.vectors,
+		},
+		Groups:      q.groups,
+		Stats:       q.st,
+		Arrival:     q.arrival,
+		Start:       q.start,
+		Done:        q.done,
+		WarmStarted: q.warm != nil,
+		WarmOrder:   append([]int(nil), q.warm...),
+	}
+}
+
+// failAllLocked marks every unfinished query failed — scheduler errors
+// (estimator failures, invalid permutations) poison the shared simulation.
+func (s *Server) failAllLocked(err error) {
+	for _, q := range s.active {
+		q.err = err
+		q.state = stateDone
+	}
+	for _, q := range s.queue {
+		q.err = err
+		q.state = stateDone
+	}
+	s.active = s.active[:0]
+	s.queue = s.queue[:0]
+}
+
+// roundLocked runs one scheduling round: admit, partition, and advance every
+// scheduled query by one segment.
+func (s *Server) roundLocked() error {
+	s.admitLocked()
+	if len(s.active) == 0 {
+		return fmt.Errorf("service: scheduler round with no admissible work")
+	}
+	if s.membershipChanged || len(s.active) > len(s.clock) {
+		s.partitionLocked()
+	}
+	snapshot := append([]*query(nil), s.active...)
+	for _, q := range snapshot {
+		if len(q.cores) == 0 {
+			continue
+		}
+		if err := s.segmentLocked(q); err != nil {
+			return err
+		}
+	}
+	kept := s.active[:0]
+	for _, q := range s.active {
+		if q.state == stateDone {
+			s.membershipChanged = true
+			continue
+		}
+		kept = append(kept, q)
+	}
+	s.active = kept
+	s.rounds++
+	return nil
+}
+
+// admitLocked moves queued queries into the active set up to MaxActive,
+// honoring simulated arrival times: a query is admitted only once the
+// pool's clock frontier has reached its arrival — activating it earlier
+// would reserve (and fast-forward) cores for work that has not arrived,
+// inflating the latency of queries that have. An idle pool jumps straight
+// to the next arrival. Grouped queries run exclusively: one is admitted
+// only into an empty pool, and blocks further admissions until it
+// completes.
+func (s *Server) admitLocked() {
+	if len(s.active) == 1 && s.active[0].grouped() {
+		return
+	}
+	// The frontier is the earliest time any core can take new work; while
+	// queries are active every core is in some subset, so it advances each
+	// round.
+	now := s.clock[0]
+	for _, cl := range s.clock[1:] {
+		if cl < now {
+			now = cl
+		}
+	}
+	if len(s.active) == 0 && len(s.queue) > 0 && s.queue[0].arrival > now {
+		now = s.queue[0].arrival
+	}
+	for len(s.queue) > 0 && len(s.active) < s.cfg.MaxActive {
+		head := s.queue[0]
+		if head.arrival > now {
+			break
+		}
+		if head.grouped() && len(s.active) > 0 {
+			break
+		}
+		s.queue = s.queue[1:]
+		if err := s.prepareLocked(head); err != nil {
+			head.err = err
+			head.state = stateDone
+			continue
+		}
+		head.state = stateActive
+		s.active = append(s.active, head)
+		s.stats.Admitted++
+		s.membershipChanged = true
+		if len(s.active) > s.stats.PeakActive {
+			s.stats.PeakActive = len(s.active)
+		}
+		if head.grouped() {
+			break
+		}
+	}
+}
+
+// prepareLocked readies a query for execution at admission time: consult
+// the feedback cache — admission, not submission, is when the latest
+// completed run of the same fingerprint is visible, exactly like a real
+// server racing recurring queries — apply the warm-start order, and build
+// the optimizer stepper for adaptive modes.
+func (s *Server) prepareLocked(q *query) error {
+	req := q.req
+	base := req.Query
+	if req.Mode != ModeFixed && !req.NoFeedback && !req.Fingerprint.Zero() {
+		if v, ok := s.feedback.Get(req.Fingerprint); ok {
+			fb := v.(Feedback)
+			if wq, err := req.Query.WithOrder(fb.Order); err == nil {
+				base = wq
+				q.warm = append([]int(nil), fb.Order...)
+				q.warmImpl = fb.Impl
+				s.stats.FeedbackWarmStarts++
+			}
+		}
+	}
+	q.base = base
+	q.numVec = s.pool.NumVectors(base)
+	if req.Mode == ModeProgressive || req.Mode == ModeMicroAdaptive {
+		step, err := core.NewBlockStepper(base, s.prof, s.pool.Workers(), req.Mode == ModeMicroAdaptive, req.Opt)
+		if err != nil {
+			return err
+		}
+		if q.warm != nil {
+			step.SetImpl(q.warmImpl)
+		}
+		q.step = step
+	}
+	return nil
+}
+
+// partitionLocked splits the pool's cores across the active queries: every
+// query gets floor(W/Q) cores and the first W mod Q (in admission order) one
+// extra; when queries outnumber cores, a rotating window of W queries gets
+// one core each so no query starves. Subsets are contiguous, ascending, and
+// stable while the active set is unchanged — a lone query therefore keeps
+// all cores for its whole run.
+func (s *Server) partitionLocked() {
+	W := len(s.clock)
+	Q := len(s.active)
+	for _, q := range s.active {
+		q.cores = q.cores[:0]
+	}
+	s.membershipChanged = false
+	if Q == 0 {
+		return
+	}
+	base := W / Q
+	if base == 0 {
+		off := int(s.rounds % uint64(Q))
+		for i := 0; i < W; i++ {
+			q := s.active[(off+i)%Q]
+			q.cores = append(q.cores, i)
+		}
+		return
+	}
+	extra := W % Q
+	w := 0
+	for qi, q := range s.active {
+		k := base
+		if qi < extra {
+			k++
+		}
+		for j := 0; j < k; j++ {
+			q.cores = append(q.cores, w)
+			w++
+		}
+	}
+}
+
+// segmentLocked advances one query by one segment on its current subset.
+func (s *Server) segmentLocked(q *query) error {
+	// Cold context switch: a core picking up a different query than it last
+	// ran flushes its caches and resets its predictor (per-query JIT'd scan
+	// loops share no code or hot data), and a core can never run a query
+	// before it arrived.
+	for _, w := range q.cores {
+		if s.owner[w] != q {
+			c := s.pool.Engines()[w].CPU()
+			c.FlushCaches()
+			c.ResetPredictor()
+			s.owner[w] = q
+		}
+		if s.clock[w] < q.arrival {
+			s.clock[w] = q.arrival
+		}
+	}
+	switch {
+	case q.grouped():
+		return s.segmentGrouped(q)
+	case q.step != nil:
+		return s.segmentAdaptive(q)
+	default:
+		return s.segmentFixed(q)
+	}
+}
+
+// segmentFixed runs one quantum of a fixed-order query: QuantumVectors
+// morsels per assigned core, dispensed to the earliest-free core with
+// clocks carried across segments — so an uninterrupted run is one seamless
+// morsel stream, exactly a dedicated Parallel.Run.
+func (s *Server) segmentFixed(q *query) error {
+	v1 := q.cursor + s.cfg.QuantumVectors*len(q.cores)
+	if v1 > q.numVec {
+		v1 = q.numVec
+	}
+	clocks := make([]uint64, len(q.cores))
+	for i, w := range q.cores {
+		clocks[i] = s.clock[w]
+	}
+	if !q.startSet {
+		q.startSet = true
+		q.start = clocks[0]
+		for _, cl := range clocks[1:] {
+			if cl < q.start {
+				q.start = cl
+			}
+		}
+	}
+	// Accumulate the aggregate directly into q.sum so splitting the scan
+	// into quanta keeps the exact float addition order of a dedicated run.
+	br, err := s.pool.RunBlockSubset(q.base, q.cursor, v1, q.cores, clocks, exec.ImplBranching, &q.sum)
+	if err != nil {
+		return err
+	}
+	for i, w := range q.cores {
+		s.clock[w] = clocks[i]
+	}
+	q.counters = q.counters.Add(br.Counters)
+	q.qual += br.Qualifying
+	q.vectors += br.Vectors
+	q.cursor = v1
+	if q.cursor == q.numVec {
+		done := s.clock[q.cores[0]]
+		for _, w := range q.cores[1:] {
+			if s.clock[w] > done {
+				done = s.clock[w]
+			}
+		}
+		q.busy = done - q.start
+		s.finishLocked(q, done)
+	}
+	return nil
+}
+
+// segmentAdaptive runs one optimization block of a progressive or
+// micro-adaptive query: barrier the subset, execute ReopInterval morsels per
+// core, then let the BlockStepper validate/estimate/reorder on the subset's
+// coordinator — the same per-block protocol as the dedicated parallel
+// drivers, so a lone query reproduces Engine.Exec cycle for cycle.
+func (s *Server) segmentAdaptive(q *query) error {
+	var t0 uint64
+	for _, w := range q.cores {
+		if s.clock[w] > t0 {
+			t0 = s.clock[w]
+		}
+	}
+	if !q.startSet {
+		q.startSet = true
+		q.start = t0
+	}
+	blockVecs := q.step.BlockVectors(len(q.cores))
+	if blockVecs <= 0 {
+		blockVecs = s.cfg.QuantumVectors * len(q.cores)
+	}
+	if blockVecs <= 0 {
+		blockVecs = 1
+	}
+	v1 := q.cursor + blockVecs
+	if v1 > q.numVec {
+		v1 = q.numVec
+	}
+	clocks := make([]uint64, len(q.cores))
+	for i := range clocks {
+		clocks[i] = t0
+	}
+	// Per-block sum reduction (q.sum += br.Sum below) mirrors the dedicated
+	// parallel drivers' block loop bit for bit.
+	br, err := s.pool.RunBlockSubset(q.step.Query(), q.cursor, v1, q.cores, clocks, q.step.Impl(), nil)
+	if err != nil {
+		return err
+	}
+	engines := make([]*exec.Engine, len(q.cores))
+	coordStart := make([]pmu.Sample, len(q.cores))
+	for i, w := range q.cores {
+		engines[i] = s.pool.Engines()[w]
+		coordStart[i] = engines[i].CPU().Sample()
+	}
+	vs := s.pool.VectorSize()
+	n := q.base.Table.NumRows()
+	tuples := v1*vs - q.cursor*vs
+	if v1*vs > n {
+		tuples = n - q.cursor*vs
+	}
+	last := v1 == q.numVec
+	extra, err := q.step.AfterBlock(br, tuples, last, engines[0].CPU(), engines)
+	if err != nil {
+		return err
+	}
+	q.counters = q.counters.Add(br.Counters)
+	for i, e := range engines {
+		q.counters = q.counters.Add(e.CPU().Sample().Sub(coordStart[i]))
+	}
+	t1 := t0 + br.MaxCycles + extra
+	for _, w := range q.cores {
+		s.clock[w] = t1
+	}
+	q.busy += br.MaxCycles + extra
+	q.qual += br.Qualifying
+	q.sum += br.Sum
+	q.vectors += br.Vectors
+	q.cursor = v1
+	if last {
+		s.finishLocked(q, t1)
+	}
+	return nil
+}
+
+// segmentGrouped runs a grouped aggregation exclusively on the whole pool
+// (admission guarantees it is the sole active query): barrier all cores,
+// run the morsel-driven partial-table aggregation, and advance every clock
+// by its makespan.
+func (s *Server) segmentGrouped(q *query) error {
+	var t0 uint64
+	for _, w := range q.cores {
+		if s.clock[w] > t0 {
+			t0 = s.clock[w]
+		}
+	}
+	q.startSet = true
+	q.start = t0
+	res, err := s.pool.RunGroupBy(q.base, q.req.Groups)
+	if err != nil {
+		return err
+	}
+	q.counters = res.Counters
+	q.qual = res.Qualifying
+	q.vectors = res.Vectors
+	q.groups = res.Groups
+	q.busy = res.Cycles
+	t1 := t0 + res.Cycles
+	for _, w := range q.cores {
+		s.clock[w] = t1
+	}
+	s.finishLocked(q, t1)
+	return nil
+}
+
+// finishLocked completes a query: stamp times, snapshot optimizer stats
+// (FinalOrder mapped back to plan-order indexes after a warm start), and
+// deposit the converged order in the feedback cache.
+func (s *Server) finishLocked(q *query, done uint64) {
+	q.done = done
+	q.state = stateDone
+	q.millis = s.pool.Engines()[0].CPU().MillisOf(q.busy)
+	if q.step != nil {
+		q.st = q.step.Stats()
+		q.st.Vectors = q.vectors
+		if q.warm != nil {
+			abs := make([]int, len(q.st.FinalOrder))
+			for i, o := range q.st.FinalOrder {
+				abs[i] = q.warm[o]
+			}
+			q.st.FinalOrder = abs
+		}
+		if !q.req.NoFeedback && !q.req.Fingerprint.Zero() {
+			s.feedback.Put(q.req.Fingerprint, Feedback{
+				Order: append([]int(nil), q.st.FinalOrder...),
+				Impl:  q.step.Impl(),
+			})
+			s.stats.FeedbackStores++
+		}
+	}
+	s.stats.Completed++
+}

@@ -1,0 +1,415 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+
+	"progopt/internal/core"
+	"progopt/internal/exec"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/tpch"
+)
+
+func testQuery(t *testing.T, rows int, seed int64) *exec.Query {
+	t.Helper()
+	d, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := exec.Q6(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst-ish initial order so progressive runs have something to fix.
+	desc := make([]int, len(q.Ops))
+	for i := range desc {
+		desc[i] = len(desc) - 1 - i
+	}
+	qo, err := q.WithOrder(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qo
+}
+
+// TestLoneFixedMatchesParallelRun: a query that has the pool to itself is
+// bit-identical — results, cycles, PMU counters — to a dedicated
+// Parallel.Run, even though the server chops it into scheduling quanta.
+func TestLoneFixedMatchesParallelRun(t *testing.T) {
+	const workers, vs = 4, 512
+	q := testQuery(t, 64*vs, 11)
+	prof := cpu.ScaledXeon()
+
+	ref, err := exec.NewParallel(prof, workers, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.BindQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(prof, workers, vs, false, Config{QuantumVectors: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.Submit(Request{Query: q, Mode: ModeFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Qualifying != want.Qualifying || got.Sum != want.Sum {
+		t.Errorf("results diverge: %d/%v vs %d/%v", got.Qualifying, got.Sum, want.Qualifying, want.Sum)
+	}
+	if got.Cycles != want.Cycles || got.Millis != want.Millis {
+		t.Errorf("cycles diverge: %d/%v vs %d/%v", got.Cycles, got.Millis, want.Cycles, want.Millis)
+	}
+	if got.Counters != want.Counters {
+		t.Errorf("counters diverge:\n got %v\nwant %v", got.Counters, want.Counters)
+	}
+	if got.Done != want.Cycles || got.Start != 0 {
+		t.Errorf("timeline wrong: start %d done %d, want 0 and %d", got.Start, got.Done, want.Cycles)
+	}
+}
+
+// TestLoneProgressiveMatchesDriver: same property for progressive execution
+// against core.RunParallelProgressive, including the optimizer stats.
+func TestLoneProgressiveMatchesDriver(t *testing.T) {
+	const workers, vs = 4, 512
+	q := testQuery(t, 64*vs, 11)
+	prof := cpu.ScaledXeon()
+	opt := core.Options{ReopInterval: 5}
+
+	ref, err := exec.NewParallel(prof, workers, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.BindQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	want, wantSt, err := core.RunParallelProgressive(ref, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(prof, workers, vs, false, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.Submit(Request{Query: q, Mode: ModeProgressive, Opt: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tk.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Qualifying != want.Qualifying || got.Sum != want.Sum {
+		t.Errorf("results diverge: %d/%v vs %d/%v", got.Qualifying, got.Sum, want.Qualifying, want.Sum)
+	}
+	if got.Cycles != want.Cycles {
+		t.Errorf("cycles diverge: %d vs %d", got.Cycles, want.Cycles)
+	}
+	if got.Counters != want.Counters {
+		t.Errorf("counters diverge:\n got %v\nwant %v", got.Counters, want.Counters)
+	}
+	if !reflect.DeepEqual(got.Stats.ParallelStats, wantSt) {
+		t.Errorf("stats diverge:\n got %+v\nwant %+v", got.Stats.ParallelStats, wantSt)
+	}
+}
+
+// TestConcurrentTraceDeterministic: a fixed trace of overlapping queries
+// yields identical outcomes and makespan on repeated simulations, no matter
+// in which order the tickets are waited on.
+func TestConcurrentTraceDeterministic(t *testing.T) {
+	const workers, vs = 4, 512
+	prof := cpu.ScaledXeon()
+	q1 := testQuery(t, 24*vs, 5)
+	q2 := testQuery(t, 32*vs, 6)
+	q3 := testQuery(t, 16*vs, 7)
+
+	type obs struct {
+		Qual     int64
+		Sum      float64
+		Cycles   uint64
+		Done     uint64
+		Makespan uint64
+	}
+	run := func(waitOrder []int) []obs {
+		s, err := New(prof, workers, vs, false, Config{MaxActive: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []*exec.Query{q1, q2, q3} {
+			if err := s.BindQuery(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reqs := []Request{
+			{Query: q1, Mode: ModeFixed, Arrival: 0},
+			{Query: q2, Mode: ModeProgressive, Opt: core.Options{ReopInterval: 5}, Arrival: 1000},
+			{Query: q3, Mode: ModeFixed, Arrival: 2000},
+		}
+		tks := make([]*Ticket, len(reqs))
+		for i, r := range reqs {
+			tk, err := s.Submit(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tks[i] = tk
+		}
+		out := make([]obs, len(tks))
+		for _, i := range waitOrder {
+			o, err := tks[i].Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = obs{o.Qualifying, o.Sum, o.Cycles, o.Done, 0}
+		}
+		out[0].Makespan = s.Stats().MakespanCycles
+		return out
+	}
+
+	a := run([]int{0, 1, 2})
+	b := run([]int{2, 0, 1})
+	c := run([]int{1, 2, 0})
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+		t.Errorf("trace not deterministic across wait orders:\n a %+v\n b %+v\n c %+v", a, b, c)
+	}
+}
+
+// TestSharedPoolPreservesResults: queries sharing the pool still produce the
+// same Qualifying/Sum as dedicated runs (scheduling may change cycles, never
+// answers).
+func TestSharedPoolPreservesResults(t *testing.T) {
+	const workers, vs = 2, 512
+	prof := cpu.ScaledXeon()
+	q1 := testQuery(t, 24*vs, 5)
+	q2 := testQuery(t, 32*vs, 6)
+
+	ref, err := exec.NewParallel(prof, workers, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []*exec.Query{q1, q2} {
+		if err := ref.BindQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1, err := ref.Run(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ref.Run(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(prof, workers, vs, false, Config{MaxActive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := s.Submit(Request{Query: q1, Mode: ModeFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Submit(Request{Query: q2, Mode: ModeFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := t1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := t2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Qualifying != w1.Qualifying || o1.Sum != w1.Sum {
+		t.Errorf("q1 diverges under sharing: %d/%v vs %d/%v", o1.Qualifying, o1.Sum, w1.Qualifying, w1.Sum)
+	}
+	if o2.Qualifying != w2.Qualifying || o2.Sum != w2.Sum {
+		t.Errorf("q2 diverges under sharing: %d/%v vs %d/%v", o2.Qualifying, o2.Sum, w2.Qualifying, w2.Sum)
+	}
+	st := s.Stats()
+	if st.PeakActive != 2 {
+		t.Errorf("peak active %d, want 2 (fair sharing)", st.PeakActive)
+	}
+}
+
+// TestAdmissionHonorsArrival: a query whose arrival lies beyond another
+// query's whole runtime must not be activated early — otherwise it would
+// reserve (and fast-forward) cores the present query should use. The
+// present query therefore runs on the full pool, exactly like a dedicated
+// run, and the future query starts at its arrival.
+func TestAdmissionHonorsArrival(t *testing.T) {
+	const workers, vs = 4, 512
+	prof := cpu.ScaledXeon()
+	q1 := testQuery(t, 24*vs, 5)
+	q2 := testQuery(t, 16*vs, 7)
+
+	ref, err := exec.NewParallel(prof, workers, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.BindQuery(q1); err != nil {
+		t.Fatal(err)
+	}
+	w1, err := ref.Run(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(prof, workers, vs, false, Config{MaxActive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindQuery(q2); err != nil {
+		t.Fatal(err)
+	}
+	farFuture := 100 * w1.Cycles
+	t1, err := s.Submit(Request{Query: q1, Mode: ModeFixed, Arrival: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Submit(Request{Query: q2, Mode: ModeFixed, Arrival: farFuture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := t1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Cycles != w1.Cycles || o1.Done != w1.Cycles {
+		t.Errorf("present query did not get the whole pool: cycles %d done %d, want %d",
+			o1.Cycles, o1.Done, w1.Cycles)
+	}
+	o2, err := t2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Start < farFuture {
+		t.Errorf("future query started at %d, before its arrival %d", o2.Start, farFuture)
+	}
+}
+
+// TestQueueLimitRejects: the admission controller sheds load beyond the
+// queue limit.
+func TestQueueLimitRejects(t *testing.T) {
+	const vs = 512
+	prof := cpu.ScaledXeon()
+	q := testQuery(t, 8*vs, 5)
+	s, err := New(prof, 1, vs, false, Config{MaxActive: 1, QueueLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing is active until a Wait drives the scheduler, so both land in
+	// the queue; the second overflows it.
+	if _, err := s.Submit(Request{Query: q, Mode: ModeFixed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Request{Query: q, Mode: ModeFixed}); err == nil {
+		t.Fatal("second submission accepted beyond the queue limit")
+	}
+	st := s.Stats()
+	if st.Rejected != 1 || st.Submitted != 2 {
+		t.Errorf("rejected=%d submitted=%d", st.Rejected, st.Submitted)
+	}
+}
+
+// convergentQuery builds a scan whose three predicates have cleanly
+// separated selectivities (~0.18 / ~0.5 / ~0.8) in the worst order, so a
+// cold progressive run reliably reorders once and then confirms the order —
+// the regime a feedback warm start is designed for.
+func convergentQuery(t *testing.T, rows int, seed int64) *exec.Query {
+	t.Helper()
+	d, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := d.Lineitem
+	return &exec.Query{Table: li, Ops: []exec.Op{
+		&exec.Predicate{Col: li.Column("l_shipdate"), Op: exec.LE, I: int64(d.ShipdateCutoff(0.8)), Label: "ship80"},
+		&exec.Predicate{Col: li.Column("l_discount"), Op: exec.LE, F: 0.05, Label: "disc<=.05"},
+		&exec.Predicate{Col: li.Column("l_quantity"), Op: exec.LT, I: 10, Label: "qty<10"},
+	}}
+}
+
+// TestFeedbackWarmStart: the second submission of the same fingerprint
+// starts at the converged order and settles in strictly fewer cycles.
+func TestFeedbackWarmStart(t *testing.T) {
+	const workers, vs = 4, 512
+	prof := cpu.ScaledXeon()
+	q := convergentQuery(t, 96*vs, 11)
+	s, err := New(prof, workers, vs, false, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BindQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	fp := Compute("lineitem", 1, []string{"q6-test"})
+	opt := core.Options{ReopInterval: 5}
+
+	t1, err := s.Submit(Request{Query: q, Mode: ModeProgressive, Opt: opt, Fingerprint: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := t1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStarted {
+		t.Fatal("first submission warm-started")
+	}
+	if cold.Stats.Reorders == 0 {
+		t.Fatal("cold run never reordered; workload too easy to measure warm start")
+	}
+
+	t2, err := s.Submit(Request{Query: q, Mode: ModeProgressive, Opt: opt, Fingerprint: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed, _ := t2.WarmStarted(); warmed {
+		t.Fatal("warm start decided before admission")
+	}
+	warm, err := t2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("second submission did not warm-start")
+	}
+	if !reflect.DeepEqual(warm.WarmOrder, cold.Stats.FinalOrder) {
+		t.Errorf("warm order %v, converged order %v", warm.WarmOrder, cold.Stats.FinalOrder)
+	}
+	if warm.Qualifying != cold.Qualifying || warm.Sum != cold.Sum {
+		t.Errorf("warm start changed the answer: %d/%v vs %d/%v", warm.Qualifying, warm.Sum, cold.Qualifying, cold.Sum)
+	}
+	if warm.Stats.ConvergedAtCycles >= cold.Stats.ConvergedAtCycles {
+		t.Errorf("warm run converged at %d cycles, cold at %d — warm start did not help",
+			warm.Stats.ConvergedAtCycles, cold.Stats.ConvergedAtCycles)
+	}
+	if warm.Cycles >= cold.Cycles {
+		t.Errorf("warm run spent %d cycles, cold %d", warm.Cycles, cold.Cycles)
+	}
+	st := s.Stats()
+	if st.FeedbackWarmStarts != 1 || st.FeedbackStores != 2 {
+		t.Errorf("warm starts %d stores %d, want 1 and 2", st.FeedbackWarmStarts, st.FeedbackStores)
+	}
+}

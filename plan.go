@@ -1,6 +1,11 @@
 package progopt
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
 
 // Plan is a declarative description of a query over one driving table: a
 // chain of reorderable filtering steps (predicates and foreign-key joins),
@@ -156,4 +161,82 @@ func (p *Plan) fail(err error) {
 	if p.err == nil {
 		p.err = err
 	}
+}
+
+// fingerprintTable returns the canonical driving-table name ("" and
+// "lineitem" are the same scan).
+func (p *Plan) fingerprintTable() string {
+	if p.table == "" {
+		return "lineitem"
+	}
+	return p.table
+}
+
+// fingerprintTerms encodes each plan step, the aggregate, and the grouping
+// as a canonical term. Terms are hashed order-independently (the optimizer
+// permutes operators anyway), bounds are encoded exactly (hex floats, full
+// integers), and labels participate so differently-annotated plans do not
+// collide in the plan cache. Together with the driving table and the
+// data-set generation, the sorted terms form the plan fingerprint that keys
+// a workload server's plan and feedback caches.
+func (p *Plan) fingerprintTerms() ([]string, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	terms := make([]string, 0, len(p.steps)+2)
+	for _, step := range p.steps {
+		var b strings.Builder
+		switch step.kind {
+		case stepFilter:
+			b.WriteString("f|")
+			b.WriteString(step.col)
+			b.WriteString("|")
+			b.WriteString(string(step.op))
+			switch step.bound {
+			case boundInt:
+				b.WriteString("|i:")
+				b.WriteString(strconv.FormatInt(step.i, 10))
+			case boundFloat:
+				b.WriteString("|x:")
+				b.WriteString(strconv.FormatFloat(step.f, 'x', -1, 64))
+			case boundLegacy:
+				b.WriteString("|b:")
+				b.WriteString(strconv.FormatInt(step.i, 10))
+				b.WriteString(":")
+				b.WriteString(strconv.FormatFloat(step.f, 'x', -1, 64))
+			default:
+				return nil, fmt.Errorf("progopt: unknown bound kind %d", step.bound)
+			}
+			if step.extraCost != 0 {
+				b.WriteString("|c:")
+				b.WriteString(strconv.Itoa(step.extraCost))
+			}
+		case stepJoin:
+			b.WriteString("j|")
+			b.WriteString(step.build)
+			b.WriteString("|x:")
+			b.WriteString(strconv.FormatFloat(step.filterSel, 'x', -1, 64))
+		default:
+			return nil, fmt.Errorf("progopt: unknown plan step kind %d", step.kind)
+		}
+		if step.label != "" {
+			b.WriteString("|l:")
+			b.WriteString(step.label)
+		}
+		terms = append(terms, b.String())
+	}
+	if p.sum != "" {
+		// Canonicalize the aggregate expression: trimmed factors in sorted
+		// order (float multiplication commutes bitwise).
+		factors := strings.Split(p.sum, "*")
+		for i := range factors {
+			factors[i] = strings.TrimSpace(factors[i])
+		}
+		sort.Strings(factors)
+		terms = append(terms, "s|"+strings.Join(factors, "*"))
+	}
+	if p.group != nil {
+		terms = append(terms, "g|"+p.group.key+"|"+p.group.value)
+	}
+	return terms, nil
 }

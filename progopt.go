@@ -2,6 +2,7 @@ package progopt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"progopt/internal/core"
 	"progopt/internal/exec"
@@ -116,7 +117,14 @@ const (
 // Dataset wraps a generated TPC-H data set.
 type Dataset struct {
 	d *tpch.Dataset
+	// gen is the data-set generation counter: every generated data set gets
+	// a fresh value, and plan fingerprints include it, so a workload
+	// server's caches never serve a plan compiled against different data.
+	gen uint64
 }
+
+// datasetGen issues data-set generation numbers.
+var datasetGen atomic.Uint64
 
 // GenerateTPCH produces a TPC-H-shaped data set with the given lineitem
 // count and row ordering.
@@ -136,11 +144,16 @@ func (e *Engine) GenerateTPCH(lineitems int, seed int64, order Ordering) (*Datas
 	default:
 		return nil, fmt.Errorf("progopt: unknown ordering %q", order)
 	}
-	return &Dataset{d: d}, nil
+	return &Dataset{d: d, gen: datasetGen.Add(1)}, nil
 }
 
 // Lineitems returns the lineitem row count.
 func (d *Dataset) Lineitems() int { return d.d.Lineitem.NumRows() }
+
+// Generation returns the data-set generation counter, part of every plan
+// fingerprint: two data sets never share a generation, even when generated
+// with identical parameters, so cached plans cannot outlive their data.
+func (d *Dataset) Generation() uint64 { return d.gen }
 
 // ShipdateCutoff returns a shipdate bound hitting the given selectivity.
 func (d *Dataset) ShipdateCutoff(sel float64) int32 { return d.d.ShipdateCutoff(sel) }
@@ -155,6 +168,11 @@ type Query struct {
 	// sumExpr is the plan's aggregate expression ("" = none), kept for
 	// Explain.
 	sumExpr string
+	// served records how the most recent Server.Submit obtained this query
+	// (plan-cache hit, feedback warm start); nil when the query has never
+	// been served. Reported by Explain. Atomic because the plan cache
+	// shares compiled queries across concurrently-waited submissions.
+	served atomic.Pointer[servedProvenance]
 }
 
 // NumOps returns the number of reorderable operators.
@@ -346,6 +364,11 @@ type Stats struct {
 	FinalOrder []int
 	// LastEstimate is the final selectivity estimate per operator position.
 	LastEstimate []float64
+	// ConvergedAtCycles is the run's cycle clock at the last plan change
+	// the optimizer applied — the cost of finding the final order. Zero
+	// means the initial order was never changed, the signature of a
+	// feedback-cache warm start that began at the converged order.
+	ConvergedAtCycles uint64
 }
 
 // RunProgressive executes the query with progressive re-optimization from a

@@ -65,6 +65,10 @@ type ExecResult struct {
 	// Impl reports implementation choices (zero-valued unless
 	// ModeMicroAdaptive).
 	Impl ImplStats
+	// Served carries workload-server provenance (arrival/latency
+	// timestamps, cache hits, warm starts) when the result came from
+	// Ticket.Wait; nil for direct Exec calls.
+	Served *ServedInfo
 }
 
 // Exec executes a compiled query from a cold hardware state. It is the
@@ -213,10 +217,11 @@ func (p Progressive) coreOptions() core.Options {
 // toStats maps driver stats to the public type.
 func toStats(st core.Stats) Stats {
 	return Stats{
-		Optimizations: st.Optimizations,
-		Reorders:      st.Reorders,
-		Reverts:       st.Reverts,
-		FinalOrder:    st.FinalOrder,
-		LastEstimate:  st.LastEstimate,
+		Optimizations:     st.Optimizations,
+		Reorders:          st.Reorders,
+		Reverts:           st.Reverts,
+		FinalOrder:        st.FinalOrder,
+		LastEstimate:      st.LastEstimate,
+		ConvergedAtCycles: st.ConvergedAtCycles,
 	}
 }

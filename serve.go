@@ -1,0 +1,304 @@
+package progopt
+
+import (
+	"fmt"
+	"sync"
+
+	"progopt/internal/service"
+)
+
+// ServerConfig configures a workload server.
+type ServerConfig struct {
+	// MaxActive caps the queries sharing the engine's cores concurrently
+	// (default: the engine's worker count). Submissions beyond it queue.
+	MaxActive int
+	// QueueLimit caps the pending queue; Submit rejects beyond it
+	// (0 = unlimited).
+	QueueLimit int
+	// PlanCacheSize bounds the fingerprint-keyed compiled-plan cache
+	// (default 64 plans). A hit skips Compile entirely.
+	PlanCacheSize int
+	// FeedbackCacheSize bounds the PMU-feedback cache of converged operator
+	// orders (default 64 plans).
+	FeedbackCacheSize int
+	// QuantumVectors is the scheduling quantum of fixed-order queries:
+	// morsels per assigned core between scheduling decisions (default 10).
+	QuantumVectors int
+	// DisableFeedback turns warm starts off (every run starts from the plan
+	// order; nothing is stored) — the cold baseline of the ext-serve
+	// experiment.
+	DisableFeedback bool
+}
+
+// ServerStats counts server activity since construction.
+type ServerStats struct {
+	// Submitted/Admitted/Rejected/Completed count queries through the
+	// admission controller; PeakActive and PeakQueued are high-water marks.
+	Submitted, Admitted, Rejected, Completed int
+	PeakActive, PeakQueued                   int
+	// PlanCacheHits/Misses/Evictions count fingerprint lookups that
+	// skipped or required Compile, and capacity evictions.
+	PlanCacheHits, PlanCacheMisses, PlanCacheEvictions int
+	// FeedbackWarmStarts counts submissions that began at a cached
+	// converged order; FeedbackStores counts adaptive completions that
+	// deposited one.
+	FeedbackWarmStarts, FeedbackStores int
+	// MakespanCycles/Millis is the simulated time the core pool has been
+	// driven to — the whole workload's completion time.
+	MakespanCycles uint64
+	MakespanMillis float64
+}
+
+// ServedInfo reports how a submission moved through the server, attached to
+// its ExecResult. All times are simulated cycles.
+type ServedInfo struct {
+	// Arrival, Start, and Done are points on the simulated clock;
+	// Done-Arrival is the query's latency including queueing and
+	// Start-Arrival the queueing delay alone.
+	Arrival, Start, Done uint64
+	// LatencyCycles/Millis is Done-Arrival on the simulated clock.
+	LatencyCycles uint64
+	LatencyMillis float64
+	// PlanCacheHit reports that Compile was skipped; WarmStart that the
+	// run began at a feedback-cached converged order.
+	PlanCacheHit, WarmStart bool
+	// Fingerprint is the canonical plan fingerprint (hex).
+	Fingerprint string
+}
+
+// servedProvenance records, on a compiled query, how the most recent
+// Server.Submit obtained it; Explain reports it.
+type servedProvenance struct {
+	fingerprint  string
+	planCacheHit bool
+	warmStart    bool
+	warmOrder    []int
+}
+
+// Server runs a multi-query workload against one engine's simulated cores:
+// an admission controller and fair scheduler partition the Config.Workers
+// cores across concurrent queries at morsel granularity, a plan cache keyed
+// by canonical fingerprint (table + operators + bounds + data-set
+// generation) skips re-compilation of recurring plans, and a feedback cache
+// warm-starts adaptive runs at the operator order a previous run of the
+// same fingerprint converged to — amortizing the paper's PMU-observation
+// cost across a workload instead of paying it per query.
+//
+// Everything runs on the simulated clock: a fixed submission trace yields
+// bit-identical per-query results, latencies, and makespan on every host
+// run, from any goroutines, at any GOMAXPROCS. A query that has the pool to
+// itself executes exactly like Engine.Exec (see equivalence_test.go);
+// adaptive modes on a single-core engine use the multi-core drivers' block
+// protocol, so their cycle counts differ from the serial Exec drivers while
+// results stay bit-identical.
+type Server struct {
+	e   *Engine
+	svc *service.Server
+
+	mu              sync.Mutex
+	plans           *service.LRU
+	planHits        int
+	planMisses      int
+	disableFeedback bool
+}
+
+// NewServer builds a workload server on the engine. The server schedules on
+// its own pool of simulated cores (same profile and count as the engine's),
+// so serving and direct Exec calls do not disturb each other's hardware
+// state.
+func NewServer(e *Engine, cfg ServerConfig) (*Server, error) {
+	if e == nil {
+		return nil, fmt.Errorf("progopt: NewServer needs an engine")
+	}
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = 64
+	}
+	svc, err := service.New(e.cpu.Profile(), e.workers, e.eng.VectorSize(), e.scalar, service.Config{
+		MaxActive:         cfg.MaxActive,
+		QueueLimit:        cfg.QueueLimit,
+		QuantumVectors:    cfg.QuantumVectors,
+		FeedbackCacheSize: cfg.FeedbackCacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		e:               e,
+		svc:             svc,
+		plans:           service.NewLRU(cfg.PlanCacheSize),
+		disableFeedback: cfg.DisableFeedback,
+	}, nil
+}
+
+// Ticket is the handle to one submission; Wait blocks until the query
+// completes and returns its result.
+type Ticket struct {
+	s       *Server
+	t       *service.Ticket
+	q       *Query
+	fp      service.Fingerprint
+	planHit bool
+}
+
+// Query returns the compiled query the server executes for this submission
+// (shared with the plan cache). Engine.Explain on it reports the serving
+// provenance — plan-cache hit, warm start, fingerprint.
+func (t *Ticket) Query() *Query { return t.q }
+
+// Submit enqueues a plan for execution with arrival "now" (the earliest
+// simulated time a core is free). See SubmitAt for trace-driven arrivals.
+func (s *Server) Submit(d *Dataset, p *Plan, opts ExecOptions) (*Ticket, error) {
+	return s.SubmitAt(d, p, opts, s.svc.Now())
+}
+
+// SubmitAt enqueues a plan with an explicit simulated arrival time. The
+// plan is fingerprinted (canonically, so step order does not matter),
+// compiled unless the plan cache already holds its fingerprint, warm-started
+// from the feedback cache when a previous run of the same fingerprint
+// converged, and queued; execution happens inside Ticket.Wait's scheduling
+// rounds. For a deterministic workload, submit the trace in arrival order
+// before (or while) waiting.
+func (s *Server) SubmitAt(d *Dataset, p *Plan, opts ExecOptions, arrival uint64) (*Ticket, error) {
+	if d == nil {
+		return nil, fmt.Errorf("progopt: Submit needs a data set")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("progopt: Submit needs a plan")
+	}
+	switch opts.Mode {
+	case ModeFixed, ModeProgressive, ModeMicroAdaptive:
+	default:
+		return nil, fmt.Errorf("progopt: unknown execution mode %d", int(opts.Mode))
+	}
+	terms, err := p.fingerprintTerms()
+	if err != nil {
+		return nil, err
+	}
+	fp := service.Compute(p.fingerprintTable(), d.gen, terms)
+
+	s.mu.Lock()
+	var q *Query
+	hit := false
+	if v, ok := s.plans.Get(fp); ok {
+		q = v.(*Query)
+		hit = true
+		s.planHits++
+	} else {
+		s.planMisses++
+	}
+	s.mu.Unlock()
+	if !hit {
+		q, err = s.e.Compile(d, p)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.plans.Put(fp, q)
+		s.mu.Unlock()
+	}
+	if q.group != nil && opts.Mode != ModeFixed {
+		return nil, fmt.Errorf("progopt: %s execution of grouped plans is not supported yet; use ModeFixed", opts.Mode)
+	}
+
+	req := service.Request{
+		Query:       q.q,
+		Mode:        serviceMode(opts.Mode),
+		Opt:         opts.Progressive.coreOptions(),
+		Arrival:     arrival,
+		Fingerprint: fp,
+		NoFeedback:  s.disableFeedback,
+	}
+	if q.group != nil {
+		req.Groups = q.group.tables
+	}
+	tk, err := s.svc.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	// Warm-start provenance is decided when the admission controller
+	// activates the query; Wait refreshes it.
+	q.served.Store(&servedProvenance{fingerprint: fp.String(), planCacheHit: hit})
+	return &Ticket{s: s, t: tk, q: q, fp: fp, planHit: hit}, nil
+}
+
+// serviceMode maps the public execution mode to the service's.
+func serviceMode(m Mode) service.Mode {
+	switch m {
+	case ModeProgressive:
+		return service.ModeProgressive
+	case ModeMicroAdaptive:
+		return service.ModeMicroAdaptive
+	default:
+		return service.ModeFixed
+	}
+}
+
+// Wait drives the server's deterministic scheduler until this submission
+// completes and returns its result. Result.Cycles/Millis are the query's
+// execution span on its assigned cores (for a query that had the pool to
+// itself, bit-identical to Engine.Exec); Served carries arrival/latency
+// timestamps and cache provenance.
+func (t *Ticket) Wait() (ExecResult, error) {
+	o, err := t.t.Wait()
+	if err != nil {
+		return ExecResult{}, err
+	}
+	t.q.served.Store(&servedProvenance{
+		fingerprint:  t.fp.String(),
+		planCacheHit: t.planHit,
+		warmStart:    o.WarmStarted,
+		warmOrder:    o.WarmOrder,
+	})
+	out := ExecResult{Result: toResult(o.Result)}
+	if o.Groups != nil {
+		rows := make([]GroupRow, len(o.Groups))
+		for i, g := range o.Groups {
+			rows[i] = GroupRow{Key: g.Key, Sum: g.Sum, Count: g.Count}
+		}
+		out.Groups = rows
+	}
+	out.Stats = toStats(o.Stats.ParallelStats.Stats)
+	out.Impl = ImplStats{
+		BranchingVectors:  o.Stats.BranchingVectors,
+		BranchFreeVectors: o.Stats.BranchFreeVectors,
+		ImplSwitches:      o.Stats.ImplSwitches,
+	}
+	lat := o.Done - o.Arrival
+	out.Served = &ServedInfo{
+		Arrival:       o.Arrival,
+		Start:         o.Start,
+		Done:          o.Done,
+		LatencyCycles: lat,
+		LatencyMillis: t.s.e.cpu.MillisOf(lat),
+		PlanCacheHit:  t.planHit,
+		WarmStart:     o.WarmStarted,
+		Fingerprint:   t.fp.String(),
+	}
+	return out, nil
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	st := s.svc.Stats()
+	s.mu.Lock()
+	out := ServerStats{
+		Submitted:          st.Submitted,
+		Admitted:           st.Admitted,
+		Rejected:           st.Rejected,
+		Completed:          st.Completed,
+		PeakActive:         st.PeakActive,
+		PeakQueued:         st.PeakQueued,
+		PlanCacheHits:      s.planHits,
+		PlanCacheMisses:    s.planMisses,
+		PlanCacheEvictions: s.plans.Evictions(),
+		FeedbackWarmStarts: st.FeedbackWarmStarts,
+		FeedbackStores:     st.FeedbackStores,
+		MakespanCycles:     st.MakespanCycles,
+	}
+	s.mu.Unlock()
+	out.MakespanMillis = s.e.cpu.MillisOf(out.MakespanCycles)
+	return out
+}
+
+// Workers returns the size of the server's core pool.
+func (s *Server) Workers() int { return s.svc.Workers() }

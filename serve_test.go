@@ -1,0 +1,333 @@
+package progopt
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// convergentPlan is a scan whose predicate selectivities (~0.8 / ~0.5 /
+// ~0.18) are cleanly separated and chained worst-first, so a cold
+// progressive run reliably reorders and then confirms — the regime feedback
+// warm starts are designed for. withJoin appends a foreign-key join, the
+// acceptance criterion's recurring join query.
+func convergentPlan(d *Dataset, withJoin bool) *Plan {
+	p := Scan("lineitem").
+		Filter("l_shipdate", CmpLE, int64(d.ShipdateCutoff(0.8))).Label("ship80").
+		Filter("l_discount", CmpLE, 0.05).Label("disc<=.05").
+		Filter("l_quantity", CmpLT, 10).Label("qty<10")
+	if withJoin {
+		p.Join("orders", 0.5)
+	}
+	return p
+}
+
+func serveEngine(t *testing.T, workers int) (*Engine, *Dataset) {
+	t.Helper()
+	e, err := New(Config{VectorSize: 512, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.GenerateTPCH(96*512, 31, OrderRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, d
+}
+
+// TestServeFingerprintOrderIndependent: the same steps chained in a
+// different order hit the plan cache (identical canonical fingerprint),
+// while changing a bound, a join selectivity, or the data-set generation
+// misses.
+func TestServeFingerprintOrderIndependent(t *testing.T) {
+	e, d := serveEngine(t, 2)
+	srv, err := NewServer(e, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(d *Dataset, p *Plan) *ServedInfo {
+		t.Helper()
+		tk, err := srv.Submit(d, p, ExecOptions{Mode: ModeFixed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Served
+	}
+	a := Scan("lineitem").
+		Filter("l_quantity", CmpLT, 24).
+		Filter("l_discount", CmpGE, 0.05).
+		Join("orders", 0.5).
+		Sum("l_extendedprice * l_discount")
+	b := Scan("lineitem").
+		Join("orders", 0.5).
+		Filter("l_discount", CmpGE, 0.05).
+		Filter("l_quantity", CmpLT, 24).
+		Sum("l_discount * l_extendedprice") // commuted factors
+	ia := submit(d, a)
+	ib := submit(d, b)
+	if ia.Fingerprint != ib.Fingerprint {
+		t.Errorf("reordered plan fingerprints differ: %s vs %s", ia.Fingerprint, ib.Fingerprint)
+	}
+	if ia.PlanCacheHit || !ib.PlanCacheHit {
+		t.Errorf("cache hits wrong: first %v second %v, want false/true", ia.PlanCacheHit, ib.PlanCacheHit)
+	}
+
+	// Bound change -> new fingerprint.
+	c := Scan("lineitem").
+		Filter("l_quantity", CmpLT, 25).
+		Filter("l_discount", CmpGE, 0.05).
+		Join("orders", 0.5).
+		Sum("l_extendedprice * l_discount")
+	if ic := submit(d, c); ic.Fingerprint == ia.Fingerprint || ic.PlanCacheHit {
+		t.Error("bound change did not change the fingerprint")
+	}
+	// Join selectivity change -> new fingerprint.
+	j := Scan("lineitem").
+		Filter("l_quantity", CmpLT, 24).
+		Filter("l_discount", CmpGE, 0.05).
+		Join("orders", 0.25).
+		Sum("l_extendedprice * l_discount")
+	if ij := submit(d, j); ij.Fingerprint == ia.Fingerprint || ij.PlanCacheHit {
+		t.Error("join selectivity change did not change the fingerprint")
+	}
+	// Same parameters, regenerated data set -> new generation -> miss.
+	d2, err := e.GenerateTPCH(96*512, 31, OrderRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Generation() == d.Generation() {
+		t.Fatal("regenerated data set reused a generation")
+	}
+	if i2 := submit(d2, a); i2.Fingerprint == ia.Fingerprint || i2.PlanCacheHit {
+		t.Error("data-set generation did not invalidate the plan cache")
+	}
+	st := srv.Stats()
+	if st.PlanCacheHits != 1 || st.PlanCacheMisses != 4 {
+		t.Errorf("hits=%d misses=%d, want 1/4", st.PlanCacheHits, st.PlanCacheMisses)
+	}
+}
+
+// TestServePlanCacheEviction: the plan cache respects
+// ServerConfig.PlanCacheSize with LRU eviction.
+func TestServePlanCacheEviction(t *testing.T) {
+	e, d := serveEngine(t, 1)
+	srv, err := NewServer(e, ServerConfig{PlanCacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := func(bound int) *Plan {
+		return Scan("lineitem").Filter("l_quantity", CmpLT, bound)
+	}
+	submit := func(p *Plan) {
+		t.Helper()
+		tk, err := srv.Submit(d, p, ExecOptions{Mode: ModeFixed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit(plan(10)) // miss, cache {10}
+	submit(plan(20)) // miss, cache {10, 20}
+	submit(plan(10)) // hit, recency [20, 10]
+	submit(plan(30)) // miss, evicts LRU 20, recency [10, 30]
+	submit(plan(20)) // miss (evicted), evicts 10, recency [30, 20]
+	submit(plan(30)) // hit (kept)
+	st := srv.Stats()
+	if st.PlanCacheEvictions != 2 {
+		t.Errorf("evictions=%d, want 2", st.PlanCacheEvictions)
+	}
+	if st.PlanCacheHits != 2 || st.PlanCacheMisses != 4 {
+		t.Errorf("hits=%d misses=%d, want 2/4", st.PlanCacheHits, st.PlanCacheMisses)
+	}
+}
+
+// TestServeWarmStartRecurringJoin pins the acceptance criterion: the second
+// submission of a recurring join query warm-starts at the converged pipeline
+// order and spends measurably fewer simulated cycles before reaching it —
+// with a bit-identical answer.
+func TestServeWarmStartRecurringJoin(t *testing.T) {
+	e, d := serveEngine(t, 4)
+	srv, err := NewServer(e, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ExecOptions{Mode: ModeProgressive, Progressive: Progressive{Interval: 5}}
+	run := func() ExecResult {
+		t.Helper()
+		tk, err := srv.Submit(d, convergentPlan(d, true), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run()
+	if cold.Served.WarmStart {
+		t.Fatal("first submission warm-started")
+	}
+	if cold.Stats.Reorders == 0 {
+		t.Fatal("cold run never reordered; workload cannot demonstrate a warm start")
+	}
+	warm := run()
+	if !warm.Served.WarmStart || !warm.Served.PlanCacheHit {
+		t.Fatalf("second submission not warm-started from cache: %+v", warm.Served)
+	}
+	if warm.Qualifying != cold.Qualifying || warm.Sum != cold.Sum {
+		t.Errorf("warm start changed the answer: %d/%v vs %d/%v",
+			warm.Qualifying, warm.Sum, cold.Qualifying, cold.Sum)
+	}
+	if warm.Stats.ConvergedAtCycles >= cold.Stats.ConvergedAtCycles {
+		t.Errorf("warm converged at %d cycles, cold at %d — no warm-start benefit",
+			warm.Stats.ConvergedAtCycles, cold.Stats.ConvergedAtCycles)
+	}
+	if warm.Cycles >= cold.Cycles {
+		t.Errorf("warm run cost %d cycles, cold %d", warm.Cycles, cold.Cycles)
+	}
+	st := srv.Stats()
+	if st.FeedbackWarmStarts != 1 || st.FeedbackStores != 2 {
+		t.Errorf("warm starts %d stores %d, want 1/2", st.FeedbackWarmStarts, st.FeedbackStores)
+	}
+}
+
+// serveTraceObs is one run of the determinism trace: everything the server
+// reports that must reproduce bit for bit.
+type serveTraceObs struct {
+	Qual    []int64
+	Sum     []float64
+	Cycles  []uint64
+	Latency []uint64
+	Counter []uint64
+	Stats   ServerStats
+}
+
+// runServeTrace submits a fixed six-query trace (two recurring templates,
+// staggered arrivals, mixed modes) and waits from parallel goroutines.
+func runServeTrace(t *testing.T) serveTraceObs {
+	t.Helper()
+	e, d := serveEngine(t, 4)
+	srv, err := NewServer(e, ServerConfig{MaxActive: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []ExecOptions{
+		{Mode: ModeFixed},
+		{Mode: ModeProgressive, Progressive: Progressive{Interval: 5}},
+		{Mode: ModeFixed},
+		{Mode: ModeProgressive, Progressive: Progressive{Interval: 5}},
+		{Mode: ModeFixed},
+		{Mode: ModeProgressive, Progressive: Progressive{Interval: 5}},
+	}
+	tks := make([]*Ticket, len(opts))
+	for i, o := range opts {
+		tk, err := srv.SubmitAt(d, convergentPlan(d, i%2 == 1), o, uint64(i)*40_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks[i] = tk
+	}
+	obs := serveTraceObs{
+		Qual:    make([]int64, len(tks)),
+		Sum:     make([]float64, len(tks)),
+		Cycles:  make([]uint64, len(tks)),
+		Latency: make([]uint64, len(tks)),
+		Counter: make([]uint64, len(tks)),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(tks))
+	for i, tk := range tks {
+		wg.Add(1)
+		go func(i int, tk *Ticket) {
+			defer wg.Done()
+			res, err := tk.Wait()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			obs.Qual[i] = res.Qualifying
+			obs.Sum[i] = res.Sum
+			obs.Cycles[i] = res.Cycles
+			obs.Latency[i] = res.Served.LatencyCycles
+			obs.Counter[i] = res.Counters["instructions"]
+		}(i, tk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs.Stats = srv.Stats()
+	return obs
+}
+
+// TestServeTraceDeterministic pins the tentpole determinism criterion: the
+// same seeded trace, waited on by racing goroutines, yields bit-identical
+// per-query results, latencies, and makespan on repeated runs and across
+// GOMAXPROCS settings.
+func TestServeTraceDeterministic(t *testing.T) {
+	a := runServeTrace(t)
+	b := runServeTrace(t)
+	old := runtime.GOMAXPROCS(1)
+	c := runServeTrace(t)
+	runtime.GOMAXPROCS(old)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("trace not reproducible:\n a %+v\n b %+v", a, b)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Errorf("trace differs across GOMAXPROCS:\n a %+v\n c %+v", a, c)
+	}
+	if a.Stats.Completed != 6 || a.Stats.PlanCacheHits != 4 {
+		t.Errorf("trace stats unexpected: %+v", a.Stats)
+	}
+}
+
+// TestExplainServedGolden pins the full Explain rendering of a served query,
+// including plan-cache and warm-start provenance.
+func TestExplainServedGolden(t *testing.T) {
+	e, d := serveEngine(t, 4)
+	srv, err := NewServer(e, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ExecOptions{Mode: ModeProgressive, Progressive: Progressive{Interval: 5}}
+	t1, err := srv.Submit(d, convergentPlan(d, false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := t1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := srv.Submit(d, convergentPlan(d, false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.Explain(t2.Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`Scan lineitem (49152 rows; batch exec, 4 worker(s))
+  0: ship80                   predicate sel=0.8000  input=1.0000
+  1: disc<=.05                predicate sel=0.5484  input=0.8000
+  2: qty<10                   predicate sel=0.1810  input=0.4388
+served: plan-cache hit; feedback warm-start order 2-1-0; fingerprint %s
+predicted: BNT=64791 MP=33455 L3=15359 out=3904
+`, cold.Served.Fingerprint)
+	if got := plan.String(); got != want {
+		t.Errorf("served explain drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

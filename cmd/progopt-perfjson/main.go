@@ -1,0 +1,127 @@
+// Command progopt-perfjson converts `go test -bench` output on stdin into
+// the BENCH_perf.json artifact CI uploads per commit — the host-performance
+// trajectory of the simulator's hot paths (schema progopt-perf/v1).
+//
+// Usage:
+//
+//	go test -run xxx -bench 'BenchmarkRun(TupleAtATime|Batch|Parallel)$' \
+//	    -benchmem -benchtime 3x . | go run ./cmd/progopt-perfjson -out BENCH_perf.json
+//
+// Only benchmark result lines are consumed; everything else (goos/pkg
+// headers, PASS/ok trailers) is ignored, and the raw line is preserved in
+// the artifact for forensics.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Schema is the artifact format identifier.
+const Schema = "progopt-perf/v1"
+
+// Bench is one benchmark result row.
+type Bench struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is host wall-clock per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present when -benchmem was set.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries every custom b.ReportMetric unit (e.g. sim_cycles).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Raw is the verbatim result line.
+	Raw string `json:"raw"`
+}
+
+// Artifact is the whole BENCH_perf.json document.
+type Artifact struct {
+	Schema  string  `json:"schema"`
+	Benches []Bench `json:"benches"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_perf.json", "output path")
+	flag.Parse()
+
+	art := Artifact{Schema: Schema}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseBenchLine(line); ok {
+			art.Benches = append(art.Benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(art.Benches) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benches)\n", *out, len(art.Benches))
+}
+
+// parseBenchLine decodes one `BenchmarkName  N  v unit  v unit ...` row.
+func parseBenchLine(line string) (Bench, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Bench{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip GOMAXPROCS suffix
+		}
+	}
+	b := Bench{Name: name, Iterations: iters, Raw: line}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = ptr(v)
+		case "allocs/op":
+			b.AllocsPerOp = ptr(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, b.NsPerOp > 0
+}
+
+func ptr(v float64) *float64 { return &v }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "progopt-perfjson:", err)
+	os.Exit(1)
+}

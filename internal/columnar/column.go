@@ -54,6 +54,7 @@ func (k Kind) Width() int {
 type Column struct {
 	name  string
 	kind  Kind
+	width int // cached kind.Width(): Addr sits on the per-tuple hot path
 	i64   []int64
 	i32   []int32
 	f64   []float64
@@ -63,22 +64,22 @@ type Column struct {
 
 // NewInt64 builds an int64 column. The slice is owned by the column.
 func NewInt64(name string, data []int64) *Column {
-	return &Column{name: name, kind: Int64, i64: data}
+	return &Column{name: name, kind: Int64, width: Int64.Width(), i64: data}
 }
 
 // NewInt32 builds an int32 column.
 func NewInt32(name string, data []int32) *Column {
-	return &Column{name: name, kind: Int32, i32: data}
+	return &Column{name: name, kind: Int32, width: Int32.Width(), i32: data}
 }
 
 // NewFloat64 builds a float64 column.
 func NewFloat64(name string, data []float64) *Column {
-	return &Column{name: name, kind: Float64, f64: data}
+	return &Column{name: name, kind: Float64, width: Float64.Width(), f64: data}
 }
 
 // NewDate builds a date column from days since 1970-01-01.
 func NewDate(name string, days []int32) *Column {
-	return &Column{name: name, kind: Date, i32: days}
+	return &Column{name: name, kind: Date, width: Date.Width(), i32: days}
 }
 
 // Name returns the column name.
@@ -88,7 +89,7 @@ func (c *Column) Name() string { return c.name }
 func (c *Column) Kind() Kind { return c.kind }
 
 // Width returns the per-value width in bytes.
-func (c *Column) Width() int { return c.kind.Width() }
+func (c *Column) Width() int { return c.width }
 
 // Len returns the number of rows.
 func (c *Column) Len() int {
@@ -121,7 +122,7 @@ func (c *Column) Bound() bool { return c.bound }
 func (c *Column) Base() uint64 { return c.base }
 
 // Addr returns the simulated address of row i.
-func (c *Column) Addr(i int) uint64 { return c.base + uint64(i)*uint64(c.Width()) }
+func (c *Column) Addr(i int) uint64 { return c.base + uint64(i)*uint64(c.width) }
 
 // Int64At returns row i widened to int64 (valid for Int64, Int32, Date).
 func (c *Column) Int64At(i int) int64 {

@@ -26,7 +26,10 @@ type BlockStepper struct {
 
 	curPerm, prevPerm []int
 	curQ              *exec.Query
-	aggWidths         []int
+	// curWidths caches opWidths(curQ), refreshed only when the order changes
+	// — the estimator consumes it once per block.
+	curWidths []int
+	aggWidths []int
 
 	impl        exec.ScanImpl
 	bfOptPoints int
@@ -65,14 +68,15 @@ func NewBlockStepper(q *exec.Query, prof cpu.Profile, workers int, micro bool, o
 	costP.Chain = opt.Chain
 	nOps := len(q.Ops)
 	s := &BlockStepper{
-		base:     q,
-		opt:      opt,
-		micro:    micro,
-		eligible: micro && exec.BranchFreeEligible(q),
-		costP:    costP,
-		curPerm:  identity(nOps),
-		prevPerm: identity(nOps),
-		curQ:     q,
+		base:      q,
+		opt:       opt,
+		micro:     micro,
+		eligible:  micro && exec.BranchFreeEligible(q),
+		costP:     costP,
+		curPerm:   identity(nOps),
+		prevPerm:  identity(nOps),
+		curQ:      q,
+		curWidths: opWidths(q),
 
 		aggWidths:      aggColumnWidths(q),
 		impl:           exec.ImplBranching,
@@ -142,6 +146,7 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 			if err != nil {
 				return 0, err
 			}
+			s.curWidths = opWidths(s.curQ)
 			extra += recompileEngines(engines, s.opt)
 			s.st.Reverts++
 			changed = true
@@ -155,7 +160,7 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 		coord.Exec(s.opt.SampleCostInstr)
 		sample := SampleFromPMU(br.Counters, tuples)
 		cfg := EstimatorConfig{
-			Widths:    opWidths(s.curQ),
+			Widths:    s.curWidths,
 			AggWidths: s.aggWidths,
 			Geometry:  s.opt.Geometry,
 			Chain:     s.opt.Chain,
@@ -180,6 +185,7 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 			if err != nil {
 				return 0, err
 			}
+			s.curWidths = opWidths(s.curQ)
 			extra += recompileEngines(engines, s.opt)
 			s.st.Reorders++
 			s.pendingValidation = true

@@ -45,6 +45,10 @@ func (e *Engine) RunVectorBranchFree(q *Query, lo, hi int) (VectorResult, error)
 	c := e.cpu
 	ops := q.Ops
 	loopSite := len(ops)
+	// The back-edge is the only branch of the predicated loop; with a
+	// site-independent predictor it batches after the loop (see
+	// runVectorScalar).
+	deferEdge := c.SiteIndependentPredictor()
 	var res VectorResult
 	for row := lo; row < hi; row++ {
 		pass := true
@@ -63,9 +67,15 @@ func (e *Engine) RunVectorBranchFree(q *Query, lo, hi int) (VectorResult, error)
 			}
 			res.Qualifying++
 		}
-		c.Exec(loopOverheadInstr)
-		// The only branch: the loop back-edge, always taken.
-		c.CondBranch(loopSite, true)
+		if !deferEdge {
+			c.Exec(loopOverheadInstr)
+			// The only branch: the loop back-edge, always taken.
+			c.CondBranch(loopSite, true)
+		}
+	}
+	if deferEdge {
+		c.Exec(loopOverheadInstr * (hi - lo))
+		c.CondBranchN(loopSite, true, hi-lo)
 	}
 	return res, nil
 }

@@ -115,6 +115,10 @@ type Engine struct {
 	// pipeline; mask is the branch-free batch kernel's qualification mask.
 	selA, selB []int32
 	mask       []bool
+	// preds caches per-vector *Predicate type assertions of the scalar row
+	// loop, so the per-(row, op) dispatch is a direct call for the common
+	// operator kind instead of an interface call.
+	preds []*Predicate
 }
 
 // NewEngine returns an engine with the given vector size (tuples per vector).
@@ -210,11 +214,31 @@ func (e *Engine) runVectorScalar(q *Query, lo, hi int) VectorResult {
 	c := e.cpu
 	ops := q.Ops
 	loopSite := len(ops)
+	// Hoist the operator type dispatch out of the row loop: predicates (the
+	// common case) evaluate through a direct call. Simulation order and
+	// effects per (row, op) are untouched.
+	preds := e.preds[:0]
+	for _, op := range ops {
+		p, _ := op.(*Predicate)
+		preds = append(preds, p)
+	}
+	e.preds = preds
+	// With a site-independent predictor the always-taken back-edge branch can
+	// be retired in one batched call after the loop: its observations commute
+	// with the operator sites' and every counter is an order-independent sum.
+	// Global-history predictors keep the interleaved per-row retirement — the
+	// scalar loop is the reference semantics.
+	deferEdge := c.SiteIndependentPredictor()
 	var res VectorResult
 	for row := lo; row < hi; row++ {
 		pass := true
 		for si := 0; si < len(ops); si++ {
-			ok := ops[si].Eval(c, row)
+			var ok bool
+			if p := preds[si]; p != nil {
+				ok = p.Eval(c, row)
+			} else {
+				ok = ops[si].Eval(c, row)
+			}
 			c.CondBranch(si, !ok)
 			if !ok {
 				pass = false
@@ -231,8 +255,14 @@ func (e *Engine) runVectorScalar(q *Query, lo, hi int) VectorResult {
 			}
 			res.Qualifying++
 		}
-		c.Exec(loopOverheadInstr)
-		c.CondBranch(loopSite, true)
+		if !deferEdge {
+			c.Exec(loopOverheadInstr)
+			c.CondBranch(loopSite, true)
+		}
+	}
+	if deferEdge {
+		c.Exec(loopOverheadInstr * (hi - lo))
+		c.CondBranchN(loopSite, true, hi-lo)
 	}
 	return res
 }

@@ -1,0 +1,108 @@
+package exec
+
+import "sort"
+
+// groupTable is the host-side accumulator of a grouped aggregation: an
+// open-addressing hash table with the group rows stored inline in the slot
+// array, replacing the map[int64]*Group of the original implementation. One
+// linear-probe lookup lands on a contiguous 32-byte slot that the update
+// writes in place — no per-group pointer chase, no per-insert allocation.
+//
+// The table is a pure host-performance structure: the *simulated* hash table
+// the cache hierarchy sees is still GroupBy's reserved address region
+// (slotAddr), so PMU counters and cycles are untouched by this layout. Group
+// values accumulate per key in exactly the order apply is called — the global
+// row order the drivers establish — so sums remain bit-identical to the map
+// path, and output is sorted by key, independent of table internals.
+type groupTable struct {
+	slots []gslot
+	mask  uint64
+	n     int
+}
+
+// gslot is one inline table entry; used distinguishes an occupied slot (keys
+// and every Group field are domain values, so no sentinel is available).
+type gslot struct {
+	g    Group
+	used bool
+}
+
+// newGroupTable sizes a table for the expected number of distinct groups —
+// the Compile-time distinct-domain scan's estimate — at a load factor of at
+// most ½ if the estimate holds; growth covers under-estimates.
+func newGroupTable(expected int) *groupTable {
+	buckets := uint64(16)
+	for int(buckets) < 2*expected {
+		buckets <<= 1
+	}
+	return &groupTable{slots: make([]gslot, buckets), mask: buckets - 1}
+}
+
+// at returns the group row for key, claiming a slot on first sight. The
+// multiplicative hash matches slotAddr's, so host probe locality mirrors the
+// simulated table's.
+func (t *groupTable) at(key int64) *Group {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	idx := (uint64(key) * 2654435761) & t.mask
+	for {
+		sl := &t.slots[idx]
+		if !sl.used {
+			sl.used = true
+			sl.g.Key = key
+			t.n++
+			return &sl.g
+		}
+		if sl.g.Key == key {
+			return &sl.g
+		}
+		idx = (idx + 1) & t.mask
+	}
+}
+
+// grow doubles the table, reinserting occupied slots. Group rows move by
+// value; accumulated sums and counts are preserved bit for bit.
+func (t *groupTable) grow() {
+	old := t.slots
+	t.slots = make([]gslot, 2*len(old))
+	t.mask = uint64(len(t.slots) - 1)
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		idx := (uint64(old[i].g.Key) * 2654435761) & t.mask
+		for t.slots[idx].used {
+			idx = (idx + 1) & t.mask
+		}
+		t.slots[idx] = old[i]
+	}
+}
+
+// len returns the number of distinct keys accumulated.
+func (t *groupTable) len() int { return t.n }
+
+// groups flattens the table into key-sorted output rows.
+func (t *groupTable) groups() []Group {
+	out := make([]Group, 0, t.n)
+	for i := range t.slots {
+		if t.slots[i].used {
+			out = append(out, t.slots[i].g)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}
+
+// sortedKeys returns the accumulated keys in ascending order (the merge
+// phase's deterministic iteration order).
+func (t *groupTable) sortedKeys() []int64 {
+	out := make([]int64, 0, t.n)
+	for i := range t.slots {
+		if t.slots[i].used {
+			out = append(out, t.slots[i].g.Key)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"progopt/internal/columnar"
+)
+
+// Property test for the open-addressing group table: accumulating a random
+// update stream through the flat table must produce exactly the rows the
+// retired map-based reference (applyRef/groupsOfMap) produces — same keys,
+// bit-identical sums, same counts — across random key domains, heavy
+// collision mixes, under-estimated sizing (forcing growth), and extreme
+// int64 keys.
+func TestGroupTableMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	domains := [][]int64{
+		{0, 1, 2, 3},                             // dense tiny
+		{math.MinInt64, math.MaxInt64, -1, 0, 1}, // extreme bounds
+		{1 << 62, 1<<62 + 16, 1<<62 + 32},        // same low bits: forced probes
+		nil,                                      // random wide domain, filled below
+	}
+	for trial := 0; trial < 60; trial++ {
+		domain := domains[trial%len(domains)]
+		if domain == nil {
+			domain = make([]int64, rng.Intn(400)+1)
+			for i := range domain {
+				domain[i] = rng.Int63() - rng.Int63()
+			}
+		}
+		nRows := rng.Intn(3000) + 1
+		keys := make([]int64, nRows)
+		vals := make([]float64, nRows)
+		for i := range keys {
+			keys[i] = domain[rng.Intn(len(domain))]
+			vals[i] = rng.NormFloat64() * 1e6
+		}
+		g := &GroupBy{
+			GroupCol: columnar.NewInt64("k", keys),
+			ValueCol: columnar.NewFloat64("v", vals),
+			// Deliberately under-estimate sizing on most trials so the table
+			// grows mid-stream.
+			expected: rng.Intn(len(domain)) + 1,
+		}
+		acc := g.accTable()
+		ref := make(map[int64]*Group)
+		for row := 0; row < nRows; row++ {
+			g.apply(acc, row)
+			g.applyRef(ref, row)
+		}
+		got, want := acc.groups(), groupsOfMap(ref)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (domain %d, rows %d): table %v\nreference %v",
+				trial, len(domain), nRows, got, want)
+		}
+		if acc.len() != len(ref) {
+			t.Fatalf("trial %d: table len %d, reference %d", trial, acc.len(), len(ref))
+		}
+		// sortedKeys must agree with the reference key set, ascending.
+		ks := acc.sortedKeys()
+		if len(ks) != len(want) {
+			t.Fatalf("trial %d: %d sorted keys for %d groups", trial, len(ks), len(want))
+		}
+		for i, k := range ks {
+			if k != want[i].Key {
+				t.Fatalf("trial %d: sortedKeys[%d] = %d, want %d", trial, i, k, want[i].Key)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ type GroupBy struct {
 
 	tableBase uint64
 	mask      uint64
+	expected  int
 }
 
 // groupSlotBytes models one hash-table slot (key, sum, count).
@@ -49,7 +50,7 @@ func NewGroupBy(alloc columnar.Allocator, group, value *columnar.Column, expecte
 	if err != nil {
 		return nil, err
 	}
-	return &GroupBy{GroupCol: group, ValueCol: value, tableBase: base, mask: buckets - 1}, nil
+	return &GroupBy{GroupCol: group, ValueCol: value, tableBase: base, mask: buckets - 1, expected: expectedGroups}, nil
 }
 
 // Group is one output row of a GroupBy.
@@ -96,7 +97,15 @@ func (g *GroupBy) touch(c *cpu.CPU, row int) {
 // from touch so a parallel run can simulate per-core partial tables while
 // reducing values in global row order (deterministic, bit-identical sums
 // across worker counts).
-func (g *GroupBy) apply(acc map[int64]*Group, row int) {
+func (g *GroupBy) apply(acc *groupTable, row int) {
+	gr := acc.at(g.GroupCol.Int64At(row))
+	gr.Sum += g.ValueCol.Float64At(row)
+	gr.Count++
+}
+
+// applyRef is the retired map-based accumulation, kept as the reference the
+// property tests pin the open-addressing table against.
+func (g *GroupBy) applyRef(acc map[int64]*Group, row int) {
 	key := g.GroupCol.Int64At(row)
 	gr, ok := acc[key]
 	if !ok {
@@ -106,6 +115,10 @@ func (g *GroupBy) apply(acc map[int64]*Group, row int) {
 	gr.Sum += g.ValueCol.Float64At(row)
 	gr.Count++
 }
+
+// accTable builds the host accumulator sized from the Compile-time
+// distinct-domain estimate this GroupBy was constructed with.
+func (g *GroupBy) accTable() *groupTable { return newGroupTable(g.expected) }
 
 // GroupVector runs the query's operators over rows [lo, hi) and simulates
 // the hash-aggregate update for each survivor in g's table, under the
@@ -153,9 +166,14 @@ func (e *Engine) GroupVector(q *Query, g *GroupBy, lo, hi int) ([]int32, error) 
 	}
 	c.LoadSel(g.GroupCol.Base(), g.GroupCol.Width(), sel)
 	c.LoadSel(g.ValueCol.Base(), g.ValueCol.Width(), sel)
+	// Hash-table slot touches: a data-dependent address stream, gathered and
+	// simulated as one run (repeated keys collapse into counted touches
+	// exactly as repeated per-row Loads would).
+	addrs := c.AddrBuf(len(sel))
 	for _, r := range sel {
-		g.touch(c, int(r))
+		addrs = append(addrs, g.slotAddr(g.GroupCol.Int64At(int(r))))
 	}
+	c.LoadAddrs(addrs)
 	c.Exec(groupUpdateCostInstr * len(sel))
 	c.Exec(loopOverheadInstr * (hi - lo))
 	c.CondBranchN(loopSite, true, hi-lo)
@@ -176,7 +194,7 @@ func (e *Engine) RunGroupBy(q *Query, g *GroupBy) (GroupResult, error) {
 	start := c.Sample()
 	startCycles := c.Cycles()
 
-	acc := make(map[int64]*Group)
+	acc := g.accTable()
 	n := q.Table.NumRows()
 	var out GroupResult
 	for lo := 0; lo < n; lo += e.vectorSize {
@@ -195,15 +213,16 @@ func (e *Engine) RunGroupBy(q *Query, g *GroupBy) (GroupResult, error) {
 		out.Vectors++
 	}
 
-	out.Groups = groupsOf(acc)
+	out.Groups = acc.groups()
 	out.Cycles = c.Cycles() - startCycles
 	out.Millis = c.MillisOf(out.Cycles)
 	out.Counters = c.Sample().Sub(start)
 	return out, nil
 }
 
-// groupsOf flattens the accumulator into key-sorted output rows.
-func groupsOf(acc map[int64]*Group) []Group {
+// groupsOfMap flattens a map-based reference accumulator into key-sorted
+// output rows (test-only companion to applyRef).
+func groupsOfMap(acc map[int64]*Group) []Group {
 	out := make([]Group, 0, len(acc))
 	for _, gr := range acc {
 		out = append(out, *gr)

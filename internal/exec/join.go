@@ -106,6 +106,13 @@ func (j *FKJoin) Eval(c *cpu.CPU, row int) bool {
 // filter) one build-side load and comparison per selected row, with the
 // per-probe arithmetic charged once for the whole vector. Loads, retired
 // instructions, and per-site branch outcomes match Eval exactly.
+//
+// The data-dependent address stream — bucket probe, then build-side filter
+// value, per selected row, in row order — is gathered into the CPU's scratch
+// and simulated by one LoadAddrs run, so co-clustered probes collapse into
+// counted same-line touches instead of per-row full lookups. Hoisting the
+// loads ahead of the branch phase is count-exact: loads touch no predictor
+// state and branches touch no cache state.
 func (j *FKJoin) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
 	keyBase := j.Key.Base()
 	kw := uint64(j.Key.Width())
@@ -114,36 +121,51 @@ func (j *FKJoin) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
 		c.Exec(j.Filter.ExtraCostInstr * len(sel))
 	}
 	ki64, ki32 := j.Key.I64(), j.Key.I32()
-	var fBase uint64
-	var fw uint64
-	if j.Filter != nil {
-		fBase = j.Filter.Col.Base()
-		fw = uint64(j.Filter.Col.Width())
-	}
-	// Key-column gather, run-batched; probes stay per-row (data-dependent).
-	selLoads(c, sel, keyBase, kw)
-	for _, r := range sel {
-		var key int64
+	key := func(r int32) int64 {
+		var k int64
 		switch {
 		case ki64 != nil:
-			key = ki64[r]
+			k = ki64[r]
 		case ki32 != nil:
-			key = int64(ki32[r])
+			k = int64(ki32[r])
 		default:
-			key = j.Key.Int64At(int(r)) // panics for non-integer keys, like Eval
+			k = j.Key.Int64At(int(r)) // panics for non-integer keys, like Eval
 		}
-		if key < 0 || key >= j.buildRows {
-			panic(fmt.Sprintf("exec: fk key %d outside build side [0,%d)", key, j.buildRows))
+		if k < 0 || k >= j.buildRows {
+			panic(fmt.Sprintf("exec: fk key %d outside build side [0,%d)", k, j.buildRows))
 		}
-		bucket := uint64(key) & (j.bucketLen - 1)
-		c.Load(j.hashBase + bucket*bucketBytes)
-		if j.Filter == nil {
-			c.CondBranch(site, false)
-			out = append(out, r)
-			continue
+		return k
+	}
+	// Key-column gather, run-batched.
+	selLoads(c, sel, keyBase, kw)
+	if j.Filter == nil {
+		// Probe stream only; the join branch never fails and retires as one
+		// constant-outcome batch.
+		addrs := c.AddrBuf(len(sel))
+		for _, r := range sel {
+			bucket := uint64(key(r)) & (j.bucketLen - 1)
+			addrs = append(addrs, j.hashBase+bucket*bucketBytes)
 		}
-		c.Load(fBase + uint64(key)*fw)
-		ok := j.Filter.passRaw(int(key))
+		c.LoadAddrs(addrs)
+		c.CondBranchN(site, false, len(sel))
+		return append(out, sel...)
+	}
+	fBase := j.Filter.Col.Base()
+	fw := uint64(j.Filter.Col.Width())
+	// Interleaved probe/filter address stream, in the exact per-row order
+	// Eval performs it; the decoded keys ride along for the branch phase so
+	// the kind dispatch and range check run once per row.
+	addrs := c.AddrBuf(2 * len(sel))
+	keys := c.KeyBuf(len(sel))
+	for _, r := range sel {
+		k := key(r)
+		bucket := uint64(k) & (j.bucketLen - 1)
+		addrs = append(addrs, j.hashBase+bucket*bucketBytes, fBase+uint64(k)*fw)
+		keys = append(keys, k)
+	}
+	c.LoadAddrs(addrs)
+	for i, r := range sel {
+		ok := j.Filter.passRaw(int(keys[i]))
 		c.CondBranch(site, !ok)
 		if ok {
 			out = append(out, r)

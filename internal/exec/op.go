@@ -110,42 +110,40 @@ func (p *Predicate) Width() int { return p.Col.Width() }
 
 // Eval implements Op: one load of the column value plus any extra cost, then
 // the comparison (the compare+jump instructions are charged by the engine's
-// branch step).
+// branch step). The value fetch goes through the raw typed slice for the
+// column's kind and the comparison through a small inlinable helper — this
+// runs once per (row, operator) in the scalar engine.
 func (p *Predicate) Eval(c *cpu.CPU, row int) bool {
 	c.Load(p.Col.Addr(row))
 	if p.ExtraCostInstr > 0 {
 		c.Exec(p.ExtraCostInstr)
 	}
-	if p.Col.Kind() == columnar.Float64 {
-		v := p.Col.F64()[row]
-		switch p.Op {
-		case LE:
-			return v <= p.F
-		case LT:
-			return v < p.F
-		case GE:
-			return v >= p.F
-		case GT:
-			return v > p.F
-		case EQ:
-			return v == p.F
-		}
-	} else {
-		v := p.Col.Int64At(row)
-		switch p.Op {
-		case LE:
-			return v <= p.I
-		case LT:
-			return v < p.I
-		case GE:
-			return v >= p.I
-		case GT:
-			return v > p.I
-		case EQ:
-			return v == p.I
-		}
+	switch p.Col.Kind() {
+	case columnar.Float64:
+		return cmp(p.Op, p.Col.F64()[row], p.F)
+	case columnar.Int64:
+		return cmp(p.Op, p.Col.I64()[row], p.I)
+	default: // Int32, Date
+		return cmp(p.Op, int64(p.Col.I32()[row]), p.I)
 	}
-	panic(fmt.Sprintf("exec: unknown comparison %d", int(p.Op)))
+}
+
+// cmp applies one comparison operator; small enough to inline into the
+// per-row evaluation.
+func cmp[T int64 | float64](op CmpOp, v, bound T) bool {
+	switch op {
+	case LE:
+		return v <= bound
+	case LT:
+		return v < bound
+	case GE:
+		return v >= bound
+	case GT:
+		return v > bound
+	case EQ:
+		return v == bound
+	}
+	panic(fmt.Sprintf("exec: unknown comparison %d", int(op)))
 }
 
 // EvalBatch implements Op: the batch kernel hoists the column-kind and
@@ -236,14 +234,13 @@ func predLoop[T int32 | int64 | float64](c *cpu.CPU, site int, sel, out []int32,
 
 // constLoop handles the degenerate kernel where the comparison outcome is
 // the same for every row (an integer bound outside the column's value range):
-// the loads and branches are still simulated, only the compare is constant.
+// the loads and branches are still simulated — as one run and one
+// constant-outcome branch batch — only the compare is constant.
 func constLoop(c *cpu.CPU, site int, sel, out []int32, base, w uint64, ok bool) []int32 {
 	selLoads(c, sel, base, w)
-	for _, r := range sel {
-		c.CondBranch(site, !ok)
-		if ok {
-			out = append(out, r)
-		}
+	c.CondBranchN(site, !ok, len(sel))
+	if ok {
+		out = append(out, sel...)
 	}
 	return out
 }

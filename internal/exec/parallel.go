@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
@@ -28,6 +27,13 @@ import (
 type Parallel struct {
 	workers    []*Engine
 	vectorSize int
+	// Per-block scratch, reused across blocks: the discrete-event scheduler
+	// serializes all simulated cores in host time, so one set of buffers
+	// serves every RunBlock/RunBlockSubset call. WorkerCycles is NOT part of
+	// this scratch — it escapes in BlockResult and stays per-call.
+	blockCores    []int
+	blockClocks   []uint64
+	sampleScratch []pmu.Sample
 }
 
 // NewParallel builds a parallel executor with the given number of worker
@@ -124,12 +130,17 @@ func (p *Parallel) RunBlock(q *Query, vecLo, vecHi int) (BlockResult, error) {
 // micro-adaptive driver runs whole morsel blocks branch-free when the merged
 // counters say predication is cheaper on every core.
 func (p *Parallel) RunBlockImpl(q *Query, vecLo, vecHi int, impl ScanImpl) (BlockResult, error) {
-	cores := make([]int, len(p.workers))
-	for i := range cores {
-		cores[i] = i
+	if p.blockCores == nil {
+		p.blockCores = make([]int, len(p.workers))
+		for i := range p.blockCores {
+			p.blockCores[i] = i
+		}
+		p.blockClocks = make([]uint64, len(p.workers))
 	}
-	clocks := make([]uint64, len(p.workers))
-	return p.RunBlockSubset(q, vecLo, vecHi, cores, clocks, impl, nil)
+	for i := range p.blockClocks {
+		p.blockClocks[i] = 0
+	}
+	return p.RunBlockSubset(q, vecLo, vecHi, p.blockCores, p.blockClocks, impl, nil)
 }
 
 // RunBlockSubset executes vectors [vecLo, vecHi) of the query morsel-driven
@@ -186,7 +197,10 @@ func (p *Parallel) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clock
 		}
 	}
 	busy := make([]uint64, nw)
-	startSamples := make([]pmu.Sample, nw)
+	if cap(p.sampleScratch) < nw {
+		p.sampleScratch = make([]pmu.Sample, nw)
+	}
+	startSamples := p.sampleScratch[:nw]
 	for i, w := range cores {
 		startSamples[i] = p.workers[w].CPU().Sample()
 	}
@@ -265,12 +279,13 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 	for w, eng := range p.workers {
 		startSamples[w] = eng.CPU().Sample()
 	}
-	acc := make(map[int64]*Group)
+	acc := gs[0].accTable()
 	// workerKeys tracks which keys each core's partial table holds, for the
-	// merge phase (sorted for determinism).
-	workerKeys := make([]map[int64]struct{}, nw)
+	// merge phase (sorted for determinism). Count doubles as the presence
+	// marker; sums stay zero.
+	workerKeys := make([]*groupTable, nw)
 	for w := range workerKeys {
-		workerKeys[w] = make(map[int64]struct{})
+		workerKeys[w] = gs[w].accTable()
 	}
 	var out GroupResult
 	for v := 0; v < numVec; v++ {
@@ -298,7 +313,7 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 		// association to a serial run for every worker count.
 		for _, r := range sel {
 			gs[w].apply(acc, int(r))
-			workerKeys[w][gs[w].GroupCol.Int64At(int(r))] = struct{}{}
+			workerKeys[w].at(gs[w].GroupCol.Int64At(int(r))).Count = 1
 		}
 		out.Qualifying += int64(len(sel))
 		out.Vectors++
@@ -317,12 +332,7 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 	c0 := p.workers[0].CPU()
 	mergeStart := c0.Cycles()
 	for w := 1; w < nw; w++ {
-		keys := make([]int64, 0, len(workerKeys[w]))
-		for k := range workerKeys[w] {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-		for _, k := range keys {
+		for _, k := range workerKeys[w].sortedKeys() {
 			c0.Load(gs[w].slotAddr(k))
 			c0.Load(gs[0].slotAddr(k))
 			c0.Exec(groupMergeCostInstr)
@@ -333,7 +343,7 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 	for w, eng := range p.workers {
 		out.Counters = out.Counters.Add(eng.CPU().Sample().Sub(startSamples[w]))
 	}
-	out.Groups = groupsOf(acc)
+	out.Groups = acc.groups()
 	out.Cycles = scanMakespan + mergeCycles
 	out.Millis = p.workers[0].CPU().MillisOf(out.Cycles)
 	return out, nil

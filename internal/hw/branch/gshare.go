@@ -75,6 +75,33 @@ func (g *Gshare) Observe(site int, taken bool) Outcome {
 	return out
 }
 
+// ObserveN observes n consecutive branches at the given site, all with the
+// same direction, and returns how many of them were mispredicted. Effects are
+// exactly those of n Observe calls. A same-direction stream drives gshare to
+// a fixed point: after historyBits steps the global history register is
+// constant (all ones for taken, zero for not taken), pinning the table index,
+// and the indexed counter then saturates in at most three more steps — after
+// which every further observation predicts correctly and changes no state, so
+// the loop exits early and the batch costs O(historyBits), not O(n).
+func (g *Gshare) ObserveN(site int, taken bool, n int) int {
+	var steady uint32
+	var steadyCtr uint8
+	if taken {
+		steady = uint32(1)<<g.historyBits - 1
+		steadyCtr = 3
+	}
+	mp := 0
+	for i := 0; i < n; i++ {
+		if g.Observe(site, taken).Mispredicted() {
+			mp++
+		}
+		if g.history == steady && g.table[g.index(site)] == steadyCtr {
+			break
+		}
+	}
+	return mp
+}
+
 // Reset implements Predictor.
 func (g *Gshare) Reset() {
 	for i := range g.table {

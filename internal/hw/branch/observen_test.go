@@ -1,0 +1,75 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// repeatObserver is the batched-observation fast path shared by the
+// predictors under test.
+type repeatObserver interface {
+	Predictor
+	ObserveN(site int, taken bool, n int) int
+}
+
+// drive feeds the same random schedule of single and batched same-direction
+// observations to a fast-path predictor and a reference twin that only ever
+// uses Observe, asserting identical misprediction counts at every step and
+// identical outcome streams afterwards.
+func drive(t *testing.T, name string, mk func() repeatObserver, rng *rand.Rand) {
+	t.Helper()
+	fast, ref := mk(), mk()
+	sites := rng.Intn(4) + 1
+	for step := 0; step < 200; step++ {
+		site := rng.Intn(sites)
+		taken := rng.Intn(2) == 0
+		n := rng.Intn(40) + 1
+		got := fast.ObserveN(site, taken, n)
+		want := 0
+		for i := 0; i < n; i++ {
+			if ref.Observe(site, taken).Mispredicted() {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("%s: step %d (site %d taken %v n %d): ObserveN %d mispredicts, Observe loop %d",
+				name, step, site, taken, n, got, want)
+		}
+	}
+	// Post-batch state must match: identical outcomes for a mixed tail.
+	for i := 0; i < 64; i++ {
+		site := rng.Intn(sites)
+		taken := rng.Intn(3) != 0
+		a, b := fast.Observe(site, taken), ref.Observe(site, taken)
+		if a != b {
+			t.Fatalf("%s: tail outcome %d diverged: %+v vs %+v", name, i, a, b)
+		}
+	}
+}
+
+func TestObserveNMatchesObserveLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 50; trial++ {
+		drive(t, "saturating-6", func() repeatObserver { return MustSaturating(6, BiasNone) }, rng)
+		drive(t, "saturating-4", func() repeatObserver { return MustSaturating(4, BiasNone) }, rng)
+		drive(t, "saturating-5+1T", func() repeatObserver { return MustSaturating(5, BiasTaken) }, rng)
+		drive(t, "gshare", func() repeatObserver { return MustGshare(10, 6) }, rng)
+	}
+}
+
+func TestObserveNZeroAndSaturated(t *testing.T) {
+	s := MustSaturating(6, BiasNone)
+	if got := s.ObserveN(0, true, 0); got != 0 {
+		t.Fatalf("ObserveN(0) = %d", got)
+	}
+	// Saturate fully taken, then a long taken batch mispredicts nothing.
+	s.ObserveN(0, true, 10)
+	if got := s.ObserveN(0, true, 1_000_000); got != 0 {
+		t.Fatalf("saturated taken batch mispredicted %d", got)
+	}
+	// Flipping direction mispredicts exactly takenStates times (states walked
+	// from strong-taken across the taken side).
+	if got := s.ObserveN(0, false, 1_000_000); got != s.TakenStates() {
+		t.Fatalf("direction flip mispredicted %d, want %d", got, s.TakenStates())
+	}
+}

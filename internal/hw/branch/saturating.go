@@ -89,23 +89,68 @@ func (s *Saturating) TakenStates() int { return s.takenStates }
 
 // Observe implements Predictor. State convention: 0 is "strong taken",
 // states-1 is "strong not taken"; values below takenStates predict taken.
+// Kept within the inline budget: it runs once per simulated conditional
+// branch.
 func (s *Saturating) Observe(site int, taken bool) Outcome {
 	if site >= len(s.counters) {
 		s.grow(site)
 	}
-	st := s.counters[site]
-	out := Outcome{PredictedTaken: int(st) < s.takenStates, Taken: taken}
+	st := int(s.counters[site])
+	pt := st < s.takenStates
 	if taken {
 		if st > 0 {
-			st--
+			s.counters[site] = int8(st - 1)
+		}
+	} else if st < s.states-1 {
+		s.counters[site] = int8(st + 1)
+	}
+	return Outcome{PredictedTaken: pt, Taken: taken}
+}
+
+// ObserveN observes n consecutive branches at the given site, all with the
+// same direction, and returns how many of them were mispredicted. State and
+// counter effects are exactly those of n Observe calls; because a saturating
+// counter walks monotonically toward the observed direction, both the final
+// state and the misprediction count have closed forms and the whole batch
+// costs O(1). This is the hot path of batch kernels retiring a vector's loop
+// back-edge (always taken) in one call.
+func (s *Saturating) ObserveN(site int, taken bool, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if site >= len(s.counters) {
+		s.grow(site)
+	}
+	st := int(s.counters[site])
+	var mp int
+	if taken {
+		// Step i observes state st-i (floored at 0) and mispredicts while the
+		// state is still on the not-taken side (st-i >= takenStates).
+		if wrong := st - s.takenStates + 1; wrong > 0 {
+			mp = wrong
+			if mp > n {
+				mp = n
+			}
+		}
+		st -= n
+		if st < 0 {
+			st = 0
 		}
 	} else {
-		if int(st) < s.states-1 {
-			st++
+		// Symmetric: mispredicts while st+i < takenStates.
+		if wrong := s.takenStates - st; wrong > 0 {
+			mp = wrong
+			if mp > n {
+				mp = n
+			}
+		}
+		st += n
+		if st > s.states-1 {
+			st = s.states - 1
 		}
 	}
-	s.counters[site] = st
-	return out
+	s.counters[site] = int8(st)
+	return mp
 }
 
 func (s *Saturating) grow(site int) {

@@ -43,6 +43,9 @@ func (c Config) validate() error {
 	if c.Ways <= 0 || lines%c.Ways != 0 {
 		return fmt.Errorf("cache %s: %d ways does not divide %d lines", c.Name, c.Ways, lines)
 	}
+	if c.Ways > 1<<16 {
+		return fmt.Errorf("cache %s: %d ways exceeds the supported maximum of %d", c.Name, c.Ways, 1<<16)
+	}
 	sets := lines / c.Ways
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache %s: set count %d is not a power of two", c.Name, sets)
@@ -65,15 +68,28 @@ type Stats struct {
 	PrefetchInserts uint64
 }
 
+// slot is one tag-array entry: the resident line's tag plus the slot's links
+// in its set's recency ring, interleaved into one cache-friendly record so a
+// set probe walks a single contiguous run of memory.
+type slot struct {
+	tag uint64 // line id + 1; 0 means empty
+	// prev/next thread the set's ways into a circular list ordered by
+	// recency: the set's head way is the MRU, head.prev is the LRU. Recency
+	// is therefore *positional* — there is no timestamp counter anywhere in
+	// the level, so LRU state cannot overflow in any run, of any length, by
+	// construction (the overflow-safety proof for what used to be a uint64
+	// LRU clock). Values are way indices within the set.
+	prev, next uint16
+}
+
 // Level is one set-associative LRU cache level.
 type Level struct {
 	cfg      Config
 	setMask  uint64
 	setShift uint
 	ways     int
-	tags     []uint64 // sets*ways entries; tag 0 means empty (addresses are offset to avoid tag 0)
-	stamps   []uint64 // LRU timestamps parallel to tags
-	clock    uint64
+	slots    []slot   // sets*ways entries, way-major within each set
+	heads    []uint16 // per-set MRU way index
 	stats    Stats
 	// lastSlot is the tag-array index touched by the most recent Lookup hit
 	// or Insert, consumed by the hierarchy's same-line fast path.
@@ -91,14 +107,33 @@ func NewLevel(cfg Config) (*Level, error) {
 	for 1<<shift < cfg.LineSize {
 		shift++
 	}
-	return &Level{
+	l := &Level{
 		cfg:      cfg,
 		setMask:  uint64(sets - 1),
 		setShift: shift,
 		ways:     cfg.Ways,
-		tags:     make([]uint64, lines),
-		stamps:   make([]uint64, lines),
-	}, nil
+		slots:    make([]slot, lines),
+		heads:    make([]uint16, sets),
+	}
+	l.linkRings()
+	return l, nil
+}
+
+// linkRings threads every set's ways into the initial recency ring
+// w0 → w1 → ... → w(ways-1) with w0 as head. Empty slots are never touched,
+// so they sink behind every occupied way and the ring tail is an empty slot
+// for as long as the set has one — matching a fill policy that never evicts
+// while an empty way exists.
+func (l *Level) linkRings() {
+	w := l.ways
+	for s := 0; s < len(l.heads); s++ {
+		base := s * w
+		for i := 0; i < w; i++ {
+			l.slots[base+i].prev = uint16((i - 1 + w) % w)
+			l.slots[base+i].next = uint16((i + 1) % w)
+		}
+		l.heads[s] = 0
+	}
 }
 
 // Config returns the level's configuration.
@@ -111,22 +146,86 @@ func (l *Level) Stats() Stats { return l.stats }
 // "empty slot" sentinel in the tag arrays.
 func (l *Level) line(addr uint64) uint64 { return (addr >> l.setShift) + 1 }
 
+// findWay scans one set for the slot holding tag ln and returns its way index
+// or -1. The scan is specialized for the shipped associativities (8- and
+// 16-way) with constant-bound loops over fixed-size array views so the
+// compiler drops all bounds checks and unrolls; the generic loop covers
+// other (test-only) geometries.
+func findWay(set []slot, ln uint64) int {
+	switch len(set) {
+	case 8:
+		a := (*[8]slot)(set)
+		for w := range a {
+			if a[w].tag == ln {
+				return w
+			}
+		}
+	case 16:
+		a := (*[16]slot)(set)
+		for w := range a {
+			if a[w].tag == ln {
+				return w
+			}
+		}
+	default:
+		for w := range set {
+			if set[w].tag == ln {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
+// moveToHead makes way w the MRU of the set rooted at base. O(1): a no-op
+// when w is already the head (the overwhelmingly common case for repeated
+// touches, kept small enough to inline), else unlink-and-relink.
+func (l *Level) moveToHead(set int, base, w int) {
+	if int(l.heads[set]) != w {
+		l.moveToHeadSlow(set, base, w)
+	}
+}
+
+func (l *Level) moveToHeadSlow(set int, base, w int) {
+	head := int(l.heads[set])
+	sl := &l.slots[base+w]
+	if int(l.slots[base+head].prev) == w {
+		// w is the ring predecessor of head: rotating the head makes w MRU
+		// and keeps every other relative position.
+		l.heads[set] = uint16(w)
+		return
+	}
+	// Unlink w ...
+	l.slots[base+int(sl.prev)].next = sl.next
+	l.slots[base+int(sl.next)].prev = sl.prev
+	// ... and splice it in before head (between head.prev and head).
+	tail := l.slots[base+head].prev
+	sl.prev = tail
+	sl.next = uint16(head)
+	l.slots[base+int(tail)].next = uint16(w)
+	l.slots[base+head].prev = uint16(w)
+	l.heads[set] = uint16(w)
+}
+
 // Lookup probes the level for the line containing addr, updating LRU state
 // and counters. It reports whether the line was present and does NOT insert
 // on a miss; the hierarchy decides fills.
 func (l *Level) Lookup(addr uint64) bool {
-	ln := l.line(addr)
+	return l.LookupLine(l.line(addr))
+}
+
+// LookupLine is Lookup on a precomputed line id (the hierarchy computes the
+// id once per access and probes every level with it — all levels of a
+// hierarchy share one line size).
+func (l *Level) LookupLine(ln uint64) bool {
 	set := int(ln & l.setMask)
 	base := set * l.ways
-	l.clock++
 	l.stats.Accesses++
-	for w := 0; w < l.ways; w++ {
-		if l.tags[base+w] == ln {
-			l.stamps[base+w] = l.clock
-			l.stats.Hits++
-			l.lastSlot = base + w
-			return true
-		}
+	if w := findWay(l.slots[base:base+l.ways], ln); w >= 0 {
+		l.moveToHead(set, base, w)
+		l.stats.Hits++
+		l.lastSlot = base + w
+		return true
 	}
 	l.stats.Misses++
 	return false
@@ -138,79 +237,107 @@ func (l *Level) LastSlot() int { return l.lastSlot }
 
 // TouchLine re-references line ln known (from the immediately preceding
 // access) to reside at tag slot idx, with counter and LRU effects identical
-// to a hit Lookup: one clock tick, one access, one hit, an MRU stamp
-// refresh. It reports false — leaving all state untouched — if the slot no
-// longer holds the line, in which case the caller must fall back to Lookup.
+// to a hit Lookup: one access, one hit, promotion to MRU. It reports false —
+// leaving all state untouched — if the slot no longer holds the line, in
+// which case the caller must fall back to Lookup.
 func (l *Level) TouchLine(idx int, ln uint64) bool {
 	return l.TouchLineN(idx, ln, 1)
 }
 
 // TouchLineN is TouchLine repeated n times in one step. Because no other
 // access intervenes, n sequential hit Lookups of the same line leave exactly
-// this state: the clock advanced n ticks, n accesses and n hits counted, and
-// the line stamped with the final clock value.
+// this state: n accesses and n hits counted and the line at MRU.
 func (l *Level) TouchLineN(idx int, ln uint64, n int) bool {
-	if n <= 0 || idx < 0 || idx >= len(l.tags) || l.tags[idx] != ln {
+	if n <= 0 || idx < 0 || idx >= len(l.slots) {
 		return false
 	}
-	l.clock += uint64(n)
+	return l.touchLineSlotN(idx, ln, n)
+}
+
+// touchLineSlotN records n hit-Lookup-equivalent touches of line ln at slot
+// idx, validating only that the slot still holds the line (the index is known
+// in range). The set is derived from the line id — the same computation every
+// probe uses — so the touch fast path carries no division or scan.
+func (l *Level) touchLineSlotN(idx int, ln uint64, n int) bool {
+	if l.slots[idx].tag != ln {
+		return false
+	}
 	l.stats.Accesses += uint64(n)
 	l.stats.Hits += uint64(n)
-	l.stamps[idx] = l.clock
+	set := int(ln & l.setMask)
+	l.moveToHead(set, set*l.ways, idx-set*l.ways)
 	l.lastSlot = idx
 	return true
+}
+
+// touchSlotN is touchLineSlotN for a slot the caller just demand-loaded in
+// the same batched run (validity established, line id known).
+func (l *Level) touchSlotN(idx int, ln uint64, n int) {
+	l.stats.Accesses += uint64(n)
+	l.stats.Hits += uint64(n)
+	set := int(ln & l.setMask)
+	l.moveToHead(set, set*l.ways, idx-set*l.ways)
+	l.lastSlot = idx
 }
 
 // Contains reports whether the line holding addr is present, without touching
 // counters or LRU state (used by the prefetcher to avoid duplicate inserts).
 func (l *Level) Contains(addr uint64) bool {
-	ln := l.line(addr)
+	return l.ContainsLine(l.line(addr))
+}
+
+// ContainsLine is Contains on a precomputed line id.
+func (l *Level) ContainsLine(ln uint64) bool {
 	base := int(ln&l.setMask) * l.ways
-	for w := 0; w < l.ways; w++ {
-		if l.tags[base+w] == ln {
-			return true
-		}
-	}
-	return false
+	return findWay(l.slots[base:base+l.ways], ln) >= 0
 }
 
 // Insert installs the line containing addr, evicting the LRU way of its set
 // if needed. prefetch marks the insert as prefetcher-initiated for counting.
 func (l *Level) Insert(addr uint64, prefetch bool) {
-	ln := l.line(addr)
-	base := int(ln&l.setMask) * l.ways
-	l.clock++
-	victim := base
-	oldest := l.stamps[base]
-	for w := 0; w < l.ways; w++ {
-		i := base + w
-		if l.tags[i] == ln { // already present; refresh
-			l.stamps[i] = l.clock
-			l.lastSlot = i
-			return
-		}
-		if l.tags[i] == 0 { // empty slot
-			victim, oldest = i, 0
-			break
-		}
-		if l.stamps[i] < oldest {
-			victim, oldest = i, l.stamps[i]
-		}
+	l.InsertLine(l.line(addr), prefetch)
+}
+
+// InsertLine is Insert on a precomputed line id.
+func (l *Level) InsertLine(ln uint64, prefetch bool) {
+	set := int(ln & l.setMask)
+	base := set * l.ways
+	if w := findWay(l.slots[base:base+l.ways], ln); w >= 0 {
+		// Already present; refresh to MRU.
+		l.moveToHead(set, base, w)
+		l.lastSlot = base + w
+		return
 	}
-	_ = oldest
-	l.tags[victim] = ln
-	l.stamps[victim] = l.clock
-	l.lastSlot = victim
+	l.fillLRU(set, base, ln)
 	if prefetch {
 		l.stats.PrefetchInserts++
 	}
 }
 
-// Flush empties the level and leaves counters intact.
+// insertLineAbsent is InsertLine for a line the caller has just proven absent
+// (its own Lookup missed with no intervening mutation of this level) — the
+// demand-fill path, which skips the present-already probe entirely.
+func (l *Level) insertLineAbsent(ln uint64) {
+	set := int(ln & l.setMask)
+	l.fillLRU(set, set*l.ways, ln)
+}
+
+// fillLRU installs ln in the set's LRU way — the ring tail, which is an
+// empty slot whenever the set has one (see linkRings) — and promotes it to
+// MRU by rotating the head onto it. O(1), no scan.
+func (l *Level) fillLRU(set, base int, ln uint64) {
+	victim := l.slots[base+int(l.heads[set])].prev
+	l.slots[base+int(victim)].tag = ln
+	l.heads[set] = victim
+	l.lastSlot = base + int(victim)
+}
+
+// Flush empties the level and leaves counters intact. Ring order is not
+// reset: with every slot empty, recency among empties is irrelevant (fills
+// take the tail, which cycles through the empty ways in ring order).
 func (l *Level) Flush() {
-	for i := range l.tags {
-		l.tags[i] = 0
-		l.stamps[i] = 0
+	for i := range l.slots {
+		l.slots[i].tag = 0
 	}
 }
 

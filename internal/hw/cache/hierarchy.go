@@ -118,7 +118,21 @@ type Hierarchy struct {
 	// sequential loads repeat lines back to back and ride this path.
 	lastLine uint64
 	lastSlot int
+	// memoLines/memoSlots generalize the same memo to a small direct-mapped
+	// table of recently loaded lines, which catches the row-major pattern of
+	// the scalar engine (one resident line per column, touched in rotation).
+	// Unlike lastLine, an entry here is a *guess*: the line may have been
+	// evicted since. Every use is validated by TouchLine (slot still holds
+	// the line), which makes the fast path exact — a line present at the
+	// memoized slot would hit an associative Lookup with precisely the same
+	// counter, clock, and MRU-stamp effects.
+	memoLines [memoEntries]uint64
+	memoSlots [memoEntries]int
 }
+
+// memoEntries sizes the direct-mapped line memo (power of two, comfortably
+// more than the column count of typical plans).
+const memoEntries = 32
 
 // NewHierarchy builds a hierarchy from its configuration.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
@@ -161,60 +175,200 @@ func (h *Hierarchy) LineShift() uint { return h.lineShift }
 // paper's counter: demand L2-misses plus prefetcher requests.
 func (h *Hierarchy) Load(addr uint64) AccessResult {
 	ln := (addr >> h.lineShift) + 1
-	if ln == h.lastLine && h.l1.TouchLine(h.lastSlot, ln) {
+	mi := ln & (memoEntries - 1)
+	if h.memoHit(ln, mi) {
 		return AccessResult{Level: HitL1, LatencyCycles: h.cfg.L1.LatencyCycles}
 	}
-	res := h.loadSlow(addr)
-	h.lastLine = ln
-	h.lastSlot = h.l1.LastSlot()
+	res := h.loadLine(ln)
+	h.lastLine, h.lastSlot = ln, h.l1.lastSlot
+	h.memoLines[mi], h.memoSlots[mi] = ln, h.l1.lastSlot
 	return res
 }
 
-// loadSlow is the full lookup-and-fill path; after it returns, the demand
-// line is L1-resident at l1.LastSlot() as the MRU of its set.
-func (h *Hierarchy) loadSlow(addr uint64) AccessResult {
-	if h.l1.Lookup(addr) {
+// memoHit tries the validated memo fast path for line ln (memo index mi):
+// when the memoized slot still holds the line, it records exactly one hit
+// Lookup — counters, MRU promotion, lastSlot — with the associative probe
+// skipped, and refreshes the same-line memo. This is the hottest path of
+// both engines; the single copy keeps the hit accounting impossible to
+// drift between the scalar and run-batched entry points.
+func (h *Hierarchy) memoHit(ln, mi uint64) bool {
+	if h.memoLines[mi] != ln {
+		return false
+	}
+	l1, idx := h.l1, h.memoSlots[mi]
+	if l1.slots[idx].tag != ln {
+		return false
+	}
+	l1.stats.Accesses++
+	l1.stats.Hits++
+	set := int(ln & l1.setMask)
+	l1.moveToHead(set, set*l1.ways, idx-set*l1.ways)
+	l1.lastSlot = idx
+	h.lastLine, h.lastSlot = ln, idx
+	return true
+}
+
+// loadLine is the full lookup-and-fill path for the line with id ln; after it
+// returns, the demand line is L1-resident at l1.lastSlot as the MRU of its
+// set. The line id is computed once by the caller and shared by every level
+// probe — all levels of a hierarchy have one line size, so the set/tag math
+// is hoisted out of the per-level (and, for batched runs, per-element) loop.
+func (h *Hierarchy) loadLine(ln uint64) AccessResult {
+	if h.l1.LookupLine(ln) {
 		return AccessResult{Level: HitL1, LatencyCycles: h.cfg.L1.LatencyCycles}
 	}
 	if !h.cfg.PrefetchDisabled {
-		line := addr >> h.lineShift
-		for _, pl := range h.pf.Observe(line) {
-			paddr := pl << h.lineShift
+		for _, pl := range h.pf.Observe(ln - 1) {
 			// Each prefetch request occupies an L3 access slot whether or not
 			// the line is already present somewhere.
 			h.l3PrefetchAccesses++
-			if !h.l3.Contains(paddr) {
+			pln := pl + 1
+			if !h.l3.ContainsLine(pln) {
 				h.memAccesses++
-				h.l3.Insert(paddr, true)
+				h.l3.insertLineAbsent(pln)
+				h.l3.stats.PrefetchInserts++
 			}
-			h.l2.Insert(paddr, true)
+			h.l2.InsertLine(pln, true)
 		}
 	}
-	if h.l2.Lookup(addr) {
-		h.l1.Insert(addr, false)
+	// Demand fills below insert lines their own level's lookup just missed,
+	// so the present-already re-check is skipped (insertLineAbsent).
+	if h.l2.LookupLine(ln) {
+		h.l1.insertLineAbsent(ln)
 		return AccessResult{Level: HitL2, LatencyCycles: h.cfg.L2.LatencyCycles}
 	}
-	if h.l3.Lookup(addr) {
-		h.l2.Insert(addr, false)
-		h.l1.Insert(addr, false)
+	if h.l3.LookupLine(ln) {
+		h.l2.insertLineAbsent(ln)
+		h.l1.insertLineAbsent(ln)
 		return AccessResult{Level: HitL3, LatencyCycles: h.cfg.L3.LatencyCycles}
 	}
 	h.memAccesses++
-	h.l3.Insert(addr, false)
-	h.l2.Insert(addr, false)
-	h.l1.Insert(addr, false)
+	h.l3.insertLineAbsent(ln)
+	h.l2.insertLineAbsent(ln)
+	h.l1.insertLineAbsent(ln)
 	return AccessResult{Level: HitMem, LatencyCycles: h.cfg.MemLatencyCycles}
 }
 
-// TouchRepeat records n further demand loads of the line hit by the
-// immediately preceding Load — guaranteed L1-MRU repeats — with effects
-// identical to n Load calls of that address. It reports false (no state
-// touched) when no valid memo exists; the caller then falls back to Load.
-func (h *Hierarchy) TouchRepeat(n int) bool {
-	if h.lastLine == 0 {
-		return false
+// RunHits counts the demand loads of one batched run by the level that
+// satisfied each of them. It is the whole result a caller needs to account a
+// run: per-load latency is a function of the hit level alone, so the CPU
+// converts the four counts into stall cycles without ever seeing individual
+// loads.
+type RunHits struct {
+	L1, L2, L3, Mem int
+}
+
+// Total returns the number of demand loads in the run.
+func (r RunHits) Total() int { return r.L1 + r.L2 + r.L3 + r.Mem }
+
+// add accounts one completed load at the given hit level.
+func (r *RunHits) add(lv HitLevel) {
+	switch lv {
+	case HitL1:
+		r.L1++
+	case HitL2:
+		r.L2++
+	case HitL3:
+		r.L3++
+	default:
+		r.Mem++
 	}
-	return h.l1.TouchLineN(h.lastSlot, h.lastLine, n)
+}
+
+// loadRunFirst performs the leading demand load of a same-line streak —
+// validated memo fast path or full lookup-and-fill — and leaves the memo
+// pointing at the streak's line.
+func (h *Hierarchy) loadRunFirst(ln uint64, rh *RunHits) {
+	mi := ln & (memoEntries - 1)
+	if h.memoHit(ln, mi) {
+		rh.L1++
+		return
+	}
+	rh.add(h.loadLine(ln).Level)
+	h.lastLine, h.lastSlot = ln, h.l1.lastSlot
+	h.memoLines[mi], h.memoSlots[mi] = ln, h.l1.lastSlot
+}
+
+// LoadRun performs n demand loads at start, start+stride, ... in one call,
+// with counter, LRU, and prefetcher effects identical to n Load calls.
+// Same-line streaks are collapsed: the streak length is computed in closed
+// form from the stride, the first access runs the full path, and the
+// remaining accesses are guaranteed L1-MRU hits recorded as one counted
+// touch. stride must be positive.
+func (h *Hierarchy) LoadRun(start uint64, stride, n int) RunHits {
+	var rh RunHits
+	if n <= 0 {
+		return rh
+	}
+	shift := h.lineShift
+	lineSize := uint64(1) << shift
+	st := uint64(stride)
+	for i := 0; i < n; {
+		addr := start + uint64(i)*st
+		ln := (addr >> shift) + 1
+		// Elements i..j-1 share the line: the next line starts at boundary.
+		boundary := (addr | (lineSize - 1)) + 1
+		j := i + int((boundary-addr+st-1)/st)
+		if j > n {
+			j = n
+		}
+		h.loadRunFirst(ln, &rh)
+		if rep := j - i - 1; rep > 0 {
+			h.l1.touchSlotN(h.lastSlot, ln, rep)
+			rh.L1 += rep
+		}
+		i = j
+	}
+	return rh
+}
+
+// LoadSel performs one demand load per selected row of a column at base with
+// the given stride, in selection order, with effects identical to per-row
+// Load calls. Runs of rows sharing one cache line after the run's first load
+// are guaranteed L1-MRU repeats and are recorded as one counted touch.
+func (h *Hierarchy) LoadSel(base uint64, stride int, rows []int32) RunHits {
+	var rh RunHits
+	shift := h.lineShift
+	st := uint64(stride)
+	n := len(rows)
+	for i := 0; i < n; {
+		ln := ((base + uint64(rows[i])*st) >> shift) + 1
+		j := i + 1
+		for j < n && ((base+uint64(rows[j])*st)>>shift)+1 == ln {
+			j++
+		}
+		h.loadRunFirst(ln, &rh)
+		if rep := j - i - 1; rep > 0 {
+			h.l1.touchSlotN(h.lastSlot, ln, rep)
+			rh.L1 += rep
+		}
+		i = j
+	}
+	return rh
+}
+
+// LoadStream performs one demand load per address, in order, with effects
+// identical to per-element Load calls — the gather path of kernels whose
+// address streams are data-dependent (join probes, hash-table touches).
+// Consecutive same-line addresses collapse into counted L1 touches.
+func (h *Hierarchy) LoadStream(addrs []uint64) RunHits {
+	var rh RunHits
+	shift := h.lineShift
+	n := len(addrs)
+	for i := 0; i < n; {
+		ln := (addrs[i] >> shift) + 1
+		j := i + 1
+		for j < n && (addrs[j]>>shift)+1 == ln {
+			j++
+		}
+		h.loadRunFirst(ln, &rh)
+		if rep := j - i - 1; rep > 0 {
+			h.l1.touchSlotN(h.lastSlot, ln, rep)
+			rh.L1 += rep
+		}
+		i = j
+	}
+	return rh
 }
 
 // Counters returns a snapshot of all event counts.
@@ -235,6 +389,7 @@ func (h *Hierarchy) Flush() {
 	h.l3.Flush()
 	h.pf.Reset()
 	h.lastLine = 0
+	h.memoLines = [memoEntries]uint64{}
 }
 
 // ResetCounters zeroes all event counts; cache contents are preserved.

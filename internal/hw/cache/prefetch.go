@@ -49,32 +49,42 @@ func NewStreamPrefetcher() *StreamPrefetcher {
 // Observe feeds one demand line id into the prefetcher and returns the line
 // ids to prefetch, if any. The returned slice aliases an internal buffer and
 // is valid until the next call.
+//
+// The table walk fuses the stream-match scan and the victim scan into one
+// pass: the first stream (in index order) whose window covers the line wins,
+// exactly as before, and when none matches the victim — the first invalid
+// entry, else the least recently used — has already been found without a
+// second walk. Random access patterns match nothing and pay this walk on
+// every L1 miss, which makes it the hottest loop of join-probe simulation.
 func (p *StreamPrefetcher) Observe(line uint64) []uint64 {
 	p.clock++
+	window := uint64(p.Window)
 	bestIdx := -1
+	victim := 0
+	// oldest doubles as the victim-search state: an invalid entry locks the
+	// victim by dropping oldest to 0 (no valid entry's lastUse is 0 — the
+	// clock pre-increments), reproducing the old two-pass rule: first invalid
+	// entry, else minimum lastUse with ties to the lowest index.
+	oldest := ^uint64(0)
 	for i := range p.streams {
 		s := &p.streams[i]
 		if !s.valid {
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
 			continue
 		}
-		if line > s.lastLine && line-s.lastLine <= uint64(p.Window) {
+		// line continues the stream when 1 <= line-lastLine <= window;
+		// unsigned wrap makes the two-sided check one compare.
+		if line-s.lastLine-1 < window {
 			bestIdx = i
 			break
 		}
+		if s.lastUse < oldest {
+			victim, oldest = i, s.lastUse
+		}
 	}
 	if bestIdx < 0 {
-		victim := 0
-		var oldest uint64 = ^uint64(0)
-		for i := range p.streams {
-			s := &p.streams[i]
-			if !s.valid {
-				victim = i
-				break
-			}
-			if s.lastUse < oldest {
-				victim, oldest = i, s.lastUse
-			}
-		}
 		p.streams[victim] = stream{lastLine: line, issuedUpTo: line, confidence: 0, lastUse: p.clock, valid: true}
 		return nil
 	}

@@ -14,7 +14,17 @@ import (
 type CPU struct {
 	prof Profile
 	pred branch.Predictor
-	mem  *cache.Hierarchy
+	// sat and gs alias pred when it is one of the two concrete predictor
+	// models, devirtualizing the per-branch Observe call on the hot path and
+	// enabling the O(1)/early-exit ObserveN batch forms.
+	sat *branch.Saturating
+	gs  *branch.Gshare
+	mem *cache.Hierarchy
+
+	// stallQ holds the per-hit-level memory stall in quarter-cycles, indexed
+	// by cache.HitLevel; precomputed so batched runs convert per-level hit
+	// counts into stall time with three multiplies.
+	stallQ [cache.HitMem + 1]uint64
 
 	// Branch event counters (cache events live in the hierarchy and are
 	// merged into samples on read).
@@ -28,6 +38,14 @@ type CPU struct {
 
 	allocNext  uint64
 	allocCount uint64
+
+	// addrBuf is the reusable scratch batch kernels gather data-dependent
+	// address streams (join probes, hash-table touches) into before handing
+	// them to LoadAddrs in one call; keyBuf holds the values those addresses
+	// were derived from, for kernels that need them again after the loads
+	// (the join's branch phase).
+	addrBuf []uint64
+	keyBuf  []int64
 }
 
 // New builds a CPU from a profile.
@@ -43,13 +61,30 @@ func New(prof Profile) (*CPU, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CPU{
+	c := &CPU{
 		prof: prof,
 		pred: pred,
 		mem:  mem,
 		// Leave a null guard page; allocations start at 1 MB.
 		allocNext: 1 << 20,
-	}, nil
+	}
+	switch p := pred.(type) {
+	case *branch.Saturating:
+		c.sat = p
+	case *branch.Gshare:
+		c.gs = p
+	}
+	stall := func(lat int) uint64 {
+		s := (lat - prof.Hierarchy.L1.LatencyCycles) * 4 / prof.MemParallelism
+		if s < 0 {
+			return 0
+		}
+		return uint64(s)
+	}
+	c.stallQ[cache.HitL2] = stall(prof.Hierarchy.L2.LatencyCycles)
+	c.stallQ[cache.HitL3] = stall(prof.Hierarchy.L3.LatencyCycles)
+	c.stallQ[cache.HitMem] = stall(prof.Hierarchy.MemLatencyCycles)
+	return c, nil
 }
 
 // MustNew is New that panics on error, for statically valid profiles.
@@ -94,15 +129,21 @@ func (c *CPU) Alloc(size int) (uint64, error) {
 func (c *CPU) Load(addr uint64) cache.AccessResult {
 	c.instructions++
 	r := c.mem.Load(addr)
-	if r.Level != cache.HitL1 {
-		// L1-hit latency is hidden by the pipeline; deeper hits stall for
-		// the differential latency, divided by the memory-parallelism factor.
-		stall := (r.LatencyCycles - c.prof.Hierarchy.L1.LatencyCycles) * 4 / c.prof.MemParallelism
-		if stall > 0 {
-			c.stallQuarters += uint64(stall)
-		}
-	}
+	// L1-hit latency is hidden by the pipeline; deeper hits stall for the
+	// differential latency, divided by the memory-parallelism factor
+	// (precomputed per level in stallQ).
+	c.stallQuarters += c.stallQ[r.Level]
 	return r
+}
+
+// addRunHits accounts one batched run: every load retires one instruction
+// and pays the per-level stall of wherever it hit, exactly as the same loads
+// would through Load.
+func (c *CPU) addRunHits(rh cache.RunHits) {
+	c.instructions += uint64(rh.Total())
+	c.stallQuarters += uint64(rh.L2)*c.stallQ[cache.HitL2] +
+		uint64(rh.L3)*c.stallQ[cache.HitL3] +
+		uint64(rh.Mem)*c.stallQ[cache.HitMem]
 }
 
 // CondBranch retires one conditional branch at the given site: one compare
@@ -111,19 +152,25 @@ func (c *CPU) Load(addr uint64) cache.AccessResult {
 func (c *CPU) CondBranch(site int, taken bool) branch.Outcome {
 	c.instructions += 2 // cmp + jcc
 	c.brCond++
-	out := c.pred.Observe(site, taken)
+	var out branch.Outcome
+	if c.sat != nil {
+		out = c.sat.Observe(site, taken)
+	} else {
+		out = c.pred.Observe(site, taken)
+	}
+	mp := out.Mispredicted()
 	if taken {
 		c.brTaken++
-		if out.Mispredicted() {
+		if mp {
 			c.brMPTaken++
 		}
 	} else {
 		c.brNotTaken++
-		if out.Mispredicted() {
+		if mp {
 			c.brMPNotTaken++
 		}
 	}
-	if out.Mispredicted() {
+	if mp {
 		c.stallQuarters += uint64(c.prof.BranchMissPenaltyCycles) * 4
 	}
 	return out
@@ -131,71 +178,92 @@ func (c *CPU) CondBranch(site int, taken bool) branch.Outcome {
 
 // LoadSeq performs n demand loads at start, start+stride, ... — a batch
 // kernel streaming a column. Counter, cache, and stall effects are exactly
-// those of n Load calls: accesses within one cache line after the first are
-// guaranteed L1-MRU hits (nothing else touches the caches in between), so
-// they are accounted in one batched step instead of n full lookups.
+// those of n Load calls: the whole run is simulated by the hierarchy in one
+// call, with same-line streaks collapsed into counted L1-MRU touches.
 func (c *CPU) LoadSeq(start uint64, stride, n int) {
-	shift := c.mem.LineShift()
-	for i := 0; i < n; {
-		addr := start + uint64(i)*uint64(stride)
-		line := addr >> shift
-		j := i + 1
-		for j < n && (start+uint64(j)*uint64(stride))>>shift == line {
-			j++
-		}
-		c.Load(addr)
-		if rep := j - i - 1; rep > 0 {
-			if c.mem.TouchRepeat(rep) {
-				// L1 hits: retired instructions only, latency hidden, no stall.
-				c.instructions += uint64(rep)
-			} else {
-				for k := 0; k < rep; k++ { // fallback; unreachable after a Load
-					c.Load(addr)
-				}
-			}
-		}
-		i = j
-	}
+	c.addRunHits(c.mem.LoadRun(start, stride, n))
 }
 
 // LoadSel performs one demand load per selected row of a column at base with
 // the given stride — a batch kernel gathering survivors. Effects are exactly
-// those of per-row Load calls: runs of rows sharing one cache line are
-// guaranteed L1-MRU repeats after the run's first load and are accounted in
-// one batched step.
+// those of per-row Load calls, simulated by the hierarchy in one run-batched
+// call.
 func (c *CPU) LoadSel(base uint64, stride int, rows []int32) {
-	shift := c.mem.LineShift()
-	n := len(rows)
-	for i := 0; i < n; {
-		addr := base + uint64(rows[i])*uint64(stride)
-		line := addr >> shift
-		j := i + 1
-		for j < n && (base+uint64(rows[j])*uint64(stride))>>shift == line {
-			j++
-		}
-		c.Load(addr)
-		if rep := j - i - 1; rep > 0 {
-			if c.mem.TouchRepeat(rep) {
-				// L1 hits: retired instructions only, latency hidden, no stall.
-				c.instructions += uint64(rep)
-			} else {
-				for k := i + 1; k < j; k++ { // fallback; unreachable after a Load
-					c.Load(base + uint64(rows[k])*uint64(stride))
-				}
-			}
-		}
-		i = j
+	c.addRunHits(c.mem.LoadSel(base, stride, rows))
+}
+
+// LoadAddrs performs one demand load per address, in order — the gather path
+// of kernels whose address streams are data-dependent (join probes,
+// hash-table touches). Effects are exactly those of per-element Load calls.
+func (c *CPU) LoadAddrs(addrs []uint64) {
+	c.addRunHits(c.mem.LoadStream(addrs))
+}
+
+// AddrBuf returns the CPU's reusable address-gather scratch, emptied, with
+// capacity for at least n addresses. The returned slice is valid until the
+// next AddrBuf call; batch kernels append the vector's data-dependent
+// addresses to it and pass the result to LoadAddrs.
+func (c *CPU) AddrBuf(n int) []uint64 {
+	if cap(c.addrBuf) < n {
+		c.addrBuf = make([]uint64, 0, n)
 	}
+	return c.addrBuf[:0]
+}
+
+// KeyBuf is AddrBuf's companion for the key values the gathered addresses
+// were computed from; valid until the next KeyBuf call.
+func (c *CPU) KeyBuf(n int) []int64 {
+	if cap(c.keyBuf) < n {
+		c.keyBuf = make([]int64, 0, n)
+	}
+	return c.keyBuf[:0]
 }
 
 // CondBranchN retires n identical conditional branches at the given site
-// (the batch engine's loop back-edge). Counter and predictor effects are
-// exactly those of calling CondBranch n times.
+// (the batch engine's loop back-edge, or a kernel whose comparison outcome is
+// constant over the vector). Counter and predictor effects are exactly those
+// of calling CondBranch n times; with the concrete predictor models the
+// misprediction count of a same-direction batch is computed in O(1)
+// (saturating) or O(history) (gshare) instead of n predictor steps.
 func (c *CPU) CondBranchN(site int, taken bool, n int) {
-	for i := 0; i < n; i++ {
-		c.CondBranch(site, taken)
+	if n <= 0 {
+		return
 	}
+	var mp int
+	switch {
+	case c.sat != nil:
+		mp = c.sat.ObserveN(site, taken, n)
+	case c.gs != nil:
+		mp = c.gs.ObserveN(site, taken, n)
+	default:
+		for i := 0; i < n; i++ {
+			if c.pred.Observe(site, taken).Mispredicted() {
+				mp++
+			}
+		}
+	}
+	c.instructions += 2 * uint64(n) // cmp + jcc each
+	c.brCond += uint64(n)
+	if taken {
+		c.brTaken += uint64(n)
+		c.brMPTaken += uint64(mp)
+	} else {
+		c.brNotTaken += uint64(n)
+		c.brMPNotTaken += uint64(mp)
+	}
+	c.stallQuarters += uint64(mp) * uint64(c.prof.BranchMissPenaltyCycles) * 4
 }
+
+// SiteIndependentPredictor reports whether the branch predictor keeps fully
+// independent per-site state (the saturating-counter models): observations at
+// different sites then commute — each site's outcome stream and final state
+// depend only on that site's own observation subsequence, and every PMU
+// effect of a branch is an order-independent sum. Callers may batch a site's
+// same-direction branches (e.g. a row loop's back-edge) out of line with
+// other sites' without changing any counter. Global-history predictors
+// (gshare) return false: their sites couple through the history register, so
+// program order must be preserved.
+func (c *CPU) SiteIndependentPredictor() bool { return c.sat != nil }
 
 // Exec retires n plain ALU instructions.
 func (c *CPU) Exec(n int) {

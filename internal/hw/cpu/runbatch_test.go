@@ -1,0 +1,122 @@
+package cpu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"progopt/internal/hw/branch"
+)
+
+// Property test for the satellite acceptance criterion: the run-batched load
+// and branch paths (LoadSeq, LoadSel, LoadAddrs, CondBranchN) must leave
+// every PMU counter — cache events at every level, branch events, retired
+// instructions — and the cycle clock bit-identical to the equivalent
+// per-element Load/CondBranch sequences, across random strides, selections,
+// address streams, cache configurations, and both predictor families.
+
+func randProfile(rng *rand.Rand) Profile {
+	p := ScaledXeon()
+	if rng.Intn(2) == 0 {
+		p.Arch = branch.ArchNehalem // gshare: exercises the loop ObserveN path
+	}
+	hier := &p.Hierarchy
+	if rng.Intn(2) == 0 {
+		hier.L1.Ways = 4
+		hier.L2.Ways = 4
+	}
+	if rng.Intn(2) == 0 {
+		hier.PrefetchDisabled = true
+	}
+	if rng.Intn(2) == 0 {
+		hier.L1.SizeBytes = 1 << 10
+	}
+	return p
+}
+
+func TestRunBatchedPathsMatchPerElement(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		prof := randProfile(rng)
+		ref := MustNew(prof)
+		bat := MustNew(prof)
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(5) {
+			case 0: // strided run
+				start := uint64(rng.Intn(1 << 22))
+				stride := []int{4, 8, 24, 64, 160}[rng.Intn(5)]
+				n := rng.Intn(400) + 1
+				for i := 0; i < n; i++ {
+					ref.Load(start + uint64(i)*uint64(stride))
+				}
+				bat.LoadSeq(start, stride, n)
+			case 1: // selection gather
+				base := uint64(rng.Intn(1 << 22))
+				stride := []int{4, 8}[rng.Intn(2)]
+				nrows := rng.Intn(300) + 1
+				rows := make([]int32, 0, nrows)
+				row := int32(rng.Intn(4))
+				for len(rows) < nrows {
+					rows = append(rows, row)
+					row += int32(rng.Intn(12))
+				}
+				for _, r := range rows {
+					ref.Load(base + uint64(r)*uint64(stride))
+				}
+				bat.LoadSel(base, stride, rows)
+			case 2: // data-dependent address stream
+				n := rng.Intn(300) + 1
+				addrs := make([]uint64, n)
+				for i := range addrs {
+					addrs[i] = uint64(rng.Intn(1<<18)) * 16
+					if i > 0 && rng.Intn(4) == 0 {
+						addrs[i] = addrs[i-1]
+					}
+				}
+				for _, a := range addrs {
+					ref.Load(a)
+				}
+				bat.LoadAddrs(addrs)
+			case 3: // same-direction branch batch
+				site := rng.Intn(6)
+				taken := rng.Intn(2) == 0
+				n := rng.Intn(200) + 1
+				for i := 0; i < n; i++ {
+					ref.CondBranch(site, taken)
+				}
+				bat.CondBranchN(site, taken, n)
+			default: // interleaved singles keep both sides' state honest
+				site := rng.Intn(6)
+				taken := rng.Intn(2) == 0
+				addr := uint64(rng.Intn(1 << 22))
+				ref.CondBranch(site, taken)
+				ref.Load(addr)
+				bat.CondBranch(site, taken)
+				bat.Load(addr)
+			}
+			a, b := ref.Sample(), bat.Sample()
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("trial %d step %d (arch %s): samples diverge:\n per-elem %v\n batched  %v",
+					trial, step, prof.Arch, a, b)
+			}
+			if ref.Cycles() != bat.Cycles() {
+				t.Fatalf("trial %d step %d: cycles %d vs %d", trial, step, ref.Cycles(), bat.Cycles())
+			}
+		}
+	}
+}
+
+// TestAddrBufReuse pins the scratch contract: capacity grows to the largest
+// request and the same backing array is handed out again.
+func TestAddrBufReuse(t *testing.T) {
+	c := MustNew(ScaledXeon())
+	b1 := c.AddrBuf(100)
+	if len(b1) != 0 || cap(b1) < 100 {
+		t.Fatalf("AddrBuf(100) = len %d cap %d", len(b1), cap(b1))
+	}
+	b1 = append(b1, 1, 2, 3)
+	b2 := c.AddrBuf(50)
+	if &b1[0] != &b2[:1][0] {
+		t.Fatal("AddrBuf did not reuse the backing array")
+	}
+}

@@ -310,6 +310,40 @@ func BenchmarkRunTupleAtATime(b *testing.B) { benchRunMode(b, true) }
 // BenchmarkRunBatch is the batch-kernel pipeline over selection vectors.
 func BenchmarkRunBatch(b *testing.B) { benchRunMode(b, false) }
 
+// BenchmarkRunTopK is the order-aware hot path: a filtered Top-100 ordered
+// scan through the public facade (bounded-heap collection per qualifying
+// tuple plus the barrier merge and emission). Feeds the BENCH_perf.json
+// sort row (schema progopt-perf/v2).
+func BenchmarkRunTopK(b *testing.B) {
+	e, err := New(Config{VectorSize: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := e.GenerateTPCH(200_000, 7, OrderNatural)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := e.Compile(d, Scan("lineitem").
+		Filter("l_shipdate", CmpLE, int64(d.ShipdateCutoff(0.6))).
+		Filter("l_discount", CmpGE, 0.04).
+		OrderBy("l_extendedprice", Desc).
+		Limit(100).
+		Sum("l_extendedprice * l_discount"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Exec(q, ExecOptions{Mode: ModeFixed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
 // BenchmarkRunParallel is the batch pipeline under the morsel scheduler;
 // sim_cycles is the 4-core makespan (the simulated speedup), while ns/op
 // remains host time for simulating all four cores.

@@ -1,10 +1,12 @@
 // Command progopt-perfjson converts `go test -bench` output on stdin into
 // the BENCH_perf.json artifact CI uploads per commit — the host-performance
-// trajectory of the simulator's hot paths (schema progopt-perf/v1).
+// trajectory of the simulator's hot paths (schema progopt-perf/v2; v2 adds
+// the BenchmarkRunTopK sort row with an unchanged field layout, see
+// DESIGN.md for the back-compat note).
 //
 // Usage:
 //
-//	go test -run xxx -bench 'BenchmarkRun(TupleAtATime|Batch|Parallel)$' \
+//	go test -run xxx -bench 'BenchmarkRun(TupleAtATime|Batch|Parallel|TopK)$' \
 //	    -benchmem -benchtime 3x . | go run ./cmd/progopt-perfjson -out BENCH_perf.json
 //
 // Only benchmark result lines are consumed; everything else (goos/pkg
@@ -22,8 +24,10 @@ import (
 	"strings"
 )
 
-// Schema is the artifact format identifier.
-const Schema = "progopt-perf/v1"
+// Schema is the artifact format identifier. v2 is v1 plus the sort
+// benchmark row (BenchmarkRunTopK); the per-bench field layout is
+// unchanged, so v1 consumers can read v2 documents by ignoring the version.
+const Schema = "progopt-perf/v2"
 
 // Bench is one benchmark result row.
 type Bench struct {

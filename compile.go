@@ -22,14 +22,26 @@ type groupExec struct {
 	tables []*exec.GroupBy
 }
 
+// sortExec is a compiled OrderBy/Limit: the validated keys and limit plus
+// one exec.Sort per simulated core, each with its own heap/run-buffer
+// regions in the engine's address space, so a parallel run maintains
+// per-core partial sort state merged at the barrier.
+type sortExec struct {
+	keys []exec.SortKey
+	// limit is the Top-K bound; -1 means no limit (full sort).
+	limit  int
+	states []*exec.Sort
+}
+
 // Compile validates the plan against the data set, binds its columns into
 // the engine's address space, and returns an executable query. Validation
-// covers: driving-table membership of every filter and aggregate column
-// (cross-table predicates are rejected — a predicate on an orders or part
-// column would index the shorter build-side column with driving-table row
-// ids), bound types against column kinds, join build tables and filter
-// selectivities, and group-key domains (the grouped-aggregation hash table
-// is sized from the key column's actual min/max, scanned here).
+// covers: driving-table membership of every filter, aggregate, and order-by
+// column (cross-table predicates are rejected — a predicate on an orders or
+// part column would index the shorter build-side column with driving-table
+// row ids), bound types against column kinds, join build tables and filter
+// selectivities, group-key domains (the grouped-aggregation hash table is
+// sized from the key column's actual min/max, scanned here), and ordering
+// constraints (Limit needs OrderBy and a non-negative bound).
 func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 	if d == nil {
 		return nil, fmt.Errorf("progopt: Compile needs a data set")
@@ -88,7 +100,60 @@ func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 		}
 		out.group = ge
 	}
+	if p.hasLimit && len(p.order) == 0 {
+		return nil, fmt.Errorf("progopt: Limit(%d) without OrderBy (a limit truncates ordered output)", p.limit)
+	}
+	if len(p.order) > 0 {
+		if p.group != nil {
+			return nil, fmt.Errorf("progopt: plan has both GroupBy and OrderBy; ordered grouped plans are not supported yet")
+		}
+		se, err := e.compileSort(d, driving, p, q.Agg)
+		if err != nil {
+			return nil, err
+		}
+		out.sort = se
+	}
 	return out, nil
+}
+
+// compileSort validates the ordering keys and limit and reserves one sort
+// state per core.
+func (e *Engine) compileSort(d *Dataset, driving *columnar.Table, p *Plan, agg *exec.Aggregate) (*sortExec, error) {
+	keys := make([]exec.SortKey, 0, len(p.order))
+	for _, o := range p.order {
+		col := driving.Column(o.col)
+		if col == nil {
+			for _, t := range []*columnar.Table{d.d.Orders, d.d.Part} {
+				if t.Column(o.col) != nil {
+					return nil, fmt.Errorf(
+						"progopt: order column %q belongs to %q, not the driving table %q (order by driving-table columns; join values are not materialized)",
+						o.col, t.Name(), driving.Name())
+				}
+			}
+			return nil, fmt.Errorf("progopt: unknown order column %q in %q", o.col, driving.Name())
+		}
+		keys = append(keys, exec.SortKey{Col: col, Desc: o.desc})
+	}
+	limit := -1
+	if p.hasLimit {
+		if p.limit < 0 {
+			return nil, fmt.Errorf("progopt: negative limit %d", p.limit)
+		}
+		limit = p.limit
+	}
+	nCores := 1
+	if e.par != nil {
+		nCores = e.par.Workers()
+	}
+	se := &sortExec{keys: keys, limit: limit, states: make([]*exec.Sort, nCores)}
+	for i := range se.states {
+		s, err := exec.NewSort(e.cpu, keys, limit, agg, driving.NumRows(), e.eng.VectorSize())
+		if err != nil {
+			return nil, err
+		}
+		se.states[i] = s
+	}
+	return se, nil
 }
 
 // drivingTable resolves the plan's table name. Only lineitem can drive a

@@ -35,15 +35,20 @@
 //		baseline.Millis/adaptive.Millis, adaptive.Stats.Reorders)
 //
 // Plans compose filters (Filter/FilterCost), foreign-key joins (Join), a
-// sum aggregate (Sum), or a grouped aggregation (GroupBy); Compile validates
-// every column, bound, and selectivity against the data set — including
-// rejecting predicates on build-side tables, which must be reached through
-// Join. Exec drives every execution shape: ModeFixed, ModeProgressive, and
+// sum aggregate (Sum), a grouped aggregation (GroupBy), or ordered output
+// (OrderBy with an optional Top-K Limit); Compile validates every column,
+// bound, and selectivity against the data set — including rejecting
+// predicates on build-side tables, which must be reached through Join. Exec
+// drives every execution shape: ModeFixed, ModeProgressive, and
 // ModeMicroAdaptive all honor Config.Workers (morsel-driven multi-core
-// scans with makespan cycle counts and merged PMU counters), and grouped
-// plans aggregate with per-core partial hash tables merged at the barrier.
-// Results are bit-identical across modes, worker counts, and
-// Config.ScalarExec (the tuple-at-a-time ablation).
+// scans with makespan cycle counts and merged PMU counters), grouped plans
+// aggregate with per-core partial hash tables merged at the barrier, and
+// ordered plans collect into per-core bounded heaps (Limit) or sorted runs
+// (full sort) merged by the coordinator at the barrier, emitting
+// ExecResult.Rows — each row carrying its sort-key values and the per-row
+// value of the plan's Sum expression. Results, grouped output, and ordered
+// rows are bit-identical across modes, worker counts, and Config.ScalarExec
+// (the tuple-at-a-time ablation).
 //
 // The former per-shape methods (BuildQ6, BuildScan, BuildPipeline, Run,
 // RunProgressive, RunMicroAdaptive, RunGroupBy) remain as deprecated thin

@@ -515,6 +515,65 @@ func TestEquivalenceServedGrouped(t *testing.T) {
 	}
 }
 
+// TestEquivalenceServedSorted extends the served equivalence to ordered
+// plans: a sorted/Top-K query submitted to an otherwise idle server returns
+// bit-identical ordered rows to Engine.Exec in every mode at Workers 1 and
+// 4, and — where the served protocol matches the dedicated drivers (always
+// at Workers 4; ModeFixed at Workers 1) — identical cycles and PMU counters
+// including the coordinator's merge-and-emit phase.
+func TestEquivalenceServedSorted(t *testing.T) {
+	plan := func(d *Dataset) *Plan {
+		return Scan("lineitem").
+			Filter("l_shipdate", CmpLE, int64(d.ShipdateCutoff(0.8))).Label("ship80").
+			Filter("l_discount", CmpLE, 0.05).Label("disc<=.05").
+			OrderBy("l_extendedprice", Desc).
+			Limit(25).
+			Sum("l_extendedprice * l_discount")
+	}
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []Mode{ModeFixed, ModeProgressive, ModeMicroAdaptive} {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(t *testing.T) {
+				opts := ExecOptions{Mode: mode, Progressive: Progressive{Interval: 5}}
+				eOld, dOld, _ := servedEquivSetup(t, workers)
+				qOld, err := eOld.Compile(dOld, plan(dOld))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := eOld.Exec(qOld, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eNew, dNew, _ := servedEquivSetup(t, workers)
+				srv, err := NewServer(eNew, ServerConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tk, err := srv.Submit(dNew, plan(dNew), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tk.Wait()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want.Rows) != 25 {
+					t.Fatalf("expected 25 ordered rows, got %d", len(want.Rows))
+				}
+				if !reflect.DeepEqual(want.Rows, got.Rows) {
+					t.Errorf("ordered rows diverge:\n exec   %+v\n served %+v", want.Rows[:2], got.Rows[:2])
+				}
+				if got.Qualifying != want.Qualifying || got.Sum != want.Sum {
+					t.Errorf("answers diverge: %d/%v vs %d/%v",
+						got.Qualifying, got.Sum, want.Qualifying, want.Sum)
+				}
+				if workers > 1 || mode == ModeFixed {
+					sameResult(t, "served-sorted", want.Result, got.Result)
+				}
+			})
+		}
+	}
+}
+
 // TestBuildScanRejectsCrossTable pins the satellite fix: predicates on
 // build-side tables are rejected instead of corrupting reads.
 func TestBuildScanRejectsCrossTable(t *testing.T) {

@@ -45,6 +45,14 @@ type PlanExplain struct {
 	Group         string
 	GroupTables   int
 	GroupDistinct int
+	// OrderBy describes the ordering as "col [desc], ..." ("" = none);
+	// SortStates is the number of per-core partial sort states it compiled
+	// to. Limit is the Top-K bound and LimitSet whether one was declared
+	// (Limit(0) is valid and distinct from no limit).
+	OrderBy    string
+	SortStates int
+	Limit      int
+	LimitSet   bool
 	// Provenance describes how a workload server most recently obtained
 	// this query — plan-cache hit or fresh compile, feedback warm start or
 	// cold start, and the plan fingerprint ("" when the query has never
@@ -74,6 +82,15 @@ func (p PlanExplain) String() string {
 	if p.Group != "" {
 		fmt.Fprintf(&b, "  group by %s (%d partial table(s), %d-key domain)\n",
 			p.Group, p.GroupTables, p.GroupDistinct)
+	}
+	if p.OrderBy != "" {
+		fmt.Fprintf(&b, "  order by %s", p.OrderBy)
+		if p.LimitSet {
+			fmt.Fprintf(&b, " limit %d (bounded heap)", p.Limit)
+		} else {
+			b.WriteString(" (run merge sort)")
+		}
+		fmt.Fprintf(&b, " [%d partial state(s)]\n", p.SortStates)
 	}
 	if p.Provenance != "" {
 		fmt.Fprintf(&b, "served: %s\n", p.Provenance)
@@ -113,6 +130,21 @@ func (e *Engine) Explain(q *Query) (PlanExplain, error) {
 		out.Group = q.group.key + ", " + q.group.value
 		out.GroupTables = len(q.group.tables)
 		out.GroupDistinct = q.group.distinct
+	}
+	if q.sort != nil {
+		parts := make([]string, len(q.sort.keys))
+		for i, k := range q.sort.keys {
+			parts[i] = k.Col.Name()
+			if k.Desc {
+				parts[i] += " desc"
+			}
+		}
+		out.OrderBy = strings.Join(parts, ", ")
+		out.SortStates = len(q.sort.states)
+		if q.sort.limit >= 0 {
+			out.Limit = q.sort.limit
+			out.LimitSet = true
+		}
 	}
 	if sp := q.served.Load(); sp != nil {
 		src := "compiled (plan-cache miss)"

@@ -78,12 +78,14 @@ func runParallelAdaptive(p *exec.Parallel, q *exec.Query, opt Options, micro boo
 		if v1 > numVec {
 			v1 = numVec
 		}
-		br, err := p.RunBlockImpl(s.Query(), v0, v1, s.Impl())
+		// The external accumulator keeps the aggregate's float addition in
+		// global vector order across block boundaries: Sum is bit-identical
+		// to a serial per-vector run for every worker count and interval.
+		br, err := p.RunBlockImplSum(s.Query(), v0, v1, s.Impl(), &out.Sum)
 		if err != nil {
 			return exec.Result{}, ParallelMicroAdaptiveStats{}, err
 		}
 		out.Qualifying += br.Qualifying
-		out.Sum += br.Sum
 		out.Vectors += br.Vectors
 		totalCycles += br.MaxCycles
 		tuples := v1*vs - v0*vs

@@ -75,10 +75,26 @@ func (e *Engine) runVectorBatch(q *Query, lo, hi int) (VectorResult, error) {
 	if q.Agg != nil && len(sel) > 0 {
 		res.Sum = e.batchAggregate(q.Agg, sel)
 	}
+	e.batchSort(sel)
 	n := hi - lo
 	c.Exec(loopOverheadInstr * n)
 	c.CondBranchN(len(q.Ops), true, n)
 	return res, nil
+}
+
+// batchSort feeds one batch's survivors to the attached order-by collector:
+// the key columns are gathered per selection and the vector's heap or
+// run-buffer touches stream through the run protocol (see sort.go). Same
+// loads and charges as the scalar loop's per-row form, batched.
+func (e *Engine) batchSort(sel []int32) {
+	r := e.sortRun
+	if r == nil || len(sel) == 0 {
+		return
+	}
+	for _, k := range r.s.Keys {
+		e.cpu.LoadSel(k.Col.Base(), k.Col.Width(), sel)
+	}
+	r.Add(e.cpu, sel)
 }
 
 // batchAggregate sums the aggregate over the selection vector in ascending
@@ -132,6 +148,7 @@ func (e *Engine) runVectorBranchFreeBatch(q *Query, lo, hi int) (VectorResult, e
 	if q.Agg != nil && len(sel) > 0 {
 		res.Sum = e.batchAggregate(q.Agg, sel)
 	}
+	e.batchSort(sel)
 	c.Exec(loopOverheadInstr * n)
 	// The only branch: the loop back-edge, always taken.
 	c.CondBranchN(len(q.Ops), true, n)

@@ -65,6 +65,12 @@ func (e *Engine) RunVectorBranchFree(q *Query, lo, hi int) (VectorResult, error)
 				c.Exec(q.Agg.cost())
 				res.Sum += q.Agg.F(row)
 			}
+			if r := e.sortRun; r != nil {
+				for _, k := range r.s.Keys {
+					c.Load(k.Col.Addr(row))
+				}
+				r.AddOne(c, row)
+			}
 			res.Qualifying++
 		}
 		if !deferEdge {

@@ -119,6 +119,11 @@ type Engine struct {
 	// loop, so the per-(row, op) dispatch is a direct call for the common
 	// operator kind instead of an interface call.
 	preds []*Predicate
+	// sortRun, when non-nil, collects every qualifying row into an attached
+	// Top-K/OrderBy state (see sort.go). Drivers attach a fresh state per
+	// run and detach it afterwards; the engine itself holds no sort state
+	// across runs.
+	sortRun *SortRun
 }
 
 // NewEngine returns an engine with the given vector size (tuples per vector).
@@ -152,6 +157,12 @@ func MustEngine(c *cpu.CPU, vectorSize int) *Engine {
 
 // CPU exposes the engine's simulated core.
 func (e *Engine) CPU() *cpu.CPU { return e.cpu }
+
+// SetSortRun attaches (or, with nil, detaches) the order-by collector every
+// qualifying row of subsequent vectors feeds. The caller owns the state's
+// lifecycle: one fresh SortRun per core per run, detached after the
+// barrier.
+func (e *Engine) SetSortRun(r *SortRun) { e.sortRun = r }
 
 // VectorSize returns tuples per vector.
 func (e *Engine) VectorSize() int { return e.vectorSize }
@@ -252,6 +263,12 @@ func (e *Engine) runVectorScalar(q *Query, lo, hi int) VectorResult {
 				}
 				c.Exec(q.Agg.cost())
 				res.Sum += q.Agg.F(row)
+			}
+			if r := e.sortRun; r != nil {
+				for _, k := range r.s.Keys {
+					c.Load(k.Col.Addr(row))
+				}
+				r.AddOne(c, row)
 			}
 			res.Qualifying++
 		}

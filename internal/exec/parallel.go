@@ -130,6 +130,15 @@ func (p *Parallel) RunBlock(q *Query, vecLo, vecHi int) (BlockResult, error) {
 // micro-adaptive driver runs whole morsel blocks branch-free when the merged
 // counters say predication is cheaper on every core.
 func (p *Parallel) RunBlockImpl(q *Query, vecLo, vecHi int, impl ScanImpl) (BlockResult, error) {
+	return p.RunBlockImplSum(q, vecLo, vecHi, impl, nil)
+}
+
+// RunBlockImplSum is RunBlockImpl with RunBlockSubset's external aggregate
+// accumulator: a driver that splits one scan into many blocks passes the
+// same *float64 to every call and gets the exact per-vector addition order
+// (and therefore bit pattern) of an unsplit serial run, regardless of block
+// boundaries.
+func (p *Parallel) RunBlockImplSum(q *Query, vecLo, vecHi int, impl ScanImpl, sum *float64) (BlockResult, error) {
 	if p.blockCores == nil {
 		p.blockCores = make([]int, len(p.workers))
 		for i := range p.blockCores {
@@ -140,7 +149,7 @@ func (p *Parallel) RunBlockImpl(q *Query, vecLo, vecHi int, impl ScanImpl) (Bloc
 	for i := range p.blockClocks {
 		p.blockClocks[i] = 0
 	}
-	return p.RunBlockSubset(q, vecLo, vecHi, p.blockCores, p.blockClocks, impl, nil)
+	return p.RunBlockSubset(q, vecLo, vecHi, p.blockCores, p.blockClocks, impl, sum)
 }
 
 // RunBlockSubset executes vectors [vecLo, vecHi) of the query morsel-driven

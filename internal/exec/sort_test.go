@@ -1,0 +1,251 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"progopt/internal/columnar"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/tpch"
+)
+
+// sortFixture builds a data set, a two-predicate query, and the qualifying
+// row ids in ascending order (the sequence every execution mode feeds the
+// sort).
+func sortFixture(t testing.TB, rows int, seed int64) (*tpch.Dataset, *Query, []int32) {
+	t.Helper()
+	d, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &Query{
+		Table: d.Lineitem,
+		Ops: []Op{
+			&Predicate{Col: d.Lineitem.Column("l_discount"), Op: GE, F: 0.03},
+			&Predicate{Col: d.Lineitem.Column("l_quantity"), Op: LT, I: 40},
+		},
+	}
+	disc := d.Lineitem.Column("l_discount").F64()
+	qty := d.Lineitem.Column("l_quantity").I64()
+	var sel []int32
+	for r := 0; r < rows; r++ {
+		if disc[r] >= 0.03 && qty[r] < 40 {
+			sel = append(sel, int32(r))
+		}
+	}
+	return d, q, sel
+}
+
+// referenceSort is the oracle: qualifying rows stably sorted by the keys
+// alone — stability supplies the row-id tie-break the operator implements
+// explicitly — truncated to the limit.
+func referenceSort(sel []int32, keys []SortKey, limit int) []int32 {
+	out := append([]int32(nil), sel...)
+	sort.SliceStable(out, func(a, b int) bool {
+		for _, k := range keys {
+			va, vb := k.Col.Float64At(int(out[a])), k.Col.Float64At(int(out[b]))
+			if va != vb {
+				return (va < vb) != k.Desc
+			}
+		}
+		return false
+	})
+	if limit >= 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+func rowIDs(rows []SortedRow) []int32 {
+	out := make([]int32, len(rows))
+	for i, r := range rows {
+		out[i] = int32(r.Row)
+	}
+	return out
+}
+
+// TestSortRunAgainstSliceStable fuzzes the operator end to end on one core:
+// random key sets, directions, and limits, fed through AddOne, must
+// reproduce the stable reference sort exactly.
+func TestSortRunAgainstSliceStable(t *testing.T) {
+	d, _, sel := sortFixture(t, 6000, 9)
+	cols := []string{"l_extendedprice", "l_quantity", "l_shipdate", "l_discount", "l_orderkey"}
+	rng := rand.New(rand.NewSource(42))
+	for it := 0; it < 20; it++ {
+		nKeys := 1 + rng.Intn(2)
+		keys := make([]SortKey, nKeys)
+		for i := range keys {
+			keys[i] = SortKey{
+				Col:  d.Lineitem.Column(cols[rng.Intn(len(cols))]),
+				Desc: rng.Intn(2) == 1,
+			}
+		}
+		limit := -1
+		switch rng.Intn(4) {
+		case 0:
+			limit = rng.Intn(5)
+		case 1:
+			limit = 1 + rng.Intn(len(sel))
+		case 2:
+			limit = len(sel) + rng.Intn(100) // beyond the qualifying count
+		}
+		c := cpu.MustNew(cpu.ScaledXeon())
+		s, err := NewSort(c, keys, limit, nil, 6000, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := NewSortRun(s)
+		for _, r := range sel {
+			run.AddOne(c, int(r))
+		}
+		got := rowIDs(FinalizeSort(c, 0, []*SortRun{run}))
+		want := referenceSort(sel, keys, limit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d (keys %v, limit %d): got %d rows %v..., want %d rows %v...",
+				it, keys, limit, len(got), head(got), len(want), head(want))
+		}
+	}
+}
+
+func head(v []int32) []int32 {
+	if len(v) > 5 {
+		return v[:5]
+	}
+	return v
+}
+
+// TestSortMergeMatchesSingleState: splitting the qualifying rows across
+// several per-core states and merging cannot change the output — the
+// comparator is total, so the result is unique.
+func TestSortMergeMatchesSingleState(t *testing.T) {
+	d, _, sel := sortFixture(t, 8000, 17)
+	keys := []SortKey{{Col: d.Lineitem.Column("l_extendedprice"), Desc: true}}
+	for _, limit := range []int{-1, 0, 1, 33, 5000} {
+		c := cpu.MustNew(cpu.ScaledXeon())
+		states := make([]*Sort, 4)
+		runs := make([]*SortRun, 4)
+		for i := range states {
+			s, err := NewSort(c, keys, limit, nil, 8000, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			states[i] = s
+			runs[i] = NewSortRun(s)
+		}
+		// Deal rows round-robin in uneven chunks, as a morsel scheduler would.
+		for i, r := range sel {
+			runs[(i/97)%4].AddOne(c, int(r))
+		}
+		got := rowIDs(FinalizeSort(c, 0, runs))
+		want := referenceSort(sel, keys, limit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("limit %d: merged output diverges from reference (%d vs %d rows)", limit, len(got), len(want))
+		}
+	}
+}
+
+// TestSortBatchScalarParity: Add (batch gather) and AddOne (scalar
+// row-at-a-time) perform identical loads, instructions, and touches when
+// fed the same sequence.
+func TestSortBatchScalarParity(t *testing.T) {
+	d, _, sel := sortFixture(t, 4000, 3)
+	keys := []SortKey{{Col: d.Lineitem.Column("l_quantity")}, {Col: d.Lineitem.Column("l_discount"), Desc: true}}
+	for _, limit := range []int{-1, 50} {
+		cA := cpu.MustNew(cpu.ScaledXeon())
+		sA, err := NewSort(cA, keys, limit, nil, 4000, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runA := NewSortRun(sA)
+		for lo := 0; lo < len(sel); lo += 512 {
+			hi := min(lo+512, len(sel))
+			runA.Add(cA, sel[lo:hi])
+		}
+
+		cB := cpu.MustNew(cpu.ScaledXeon())
+		sB, err := NewSort(cB, keys, limit, nil, 4000, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runB := NewSortRun(sB)
+		for _, r := range sel {
+			runB.AddOne(cB, int(r))
+		}
+
+		ra := FinalizeSort(cA, 0, []*SortRun{runA})
+		rb := FinalizeSort(cB, 0, []*SortRun{runB})
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("limit %d: batch and scalar outputs diverge", limit)
+		}
+		a, b := cA.Sample(), cB.Sample()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("limit %d: PMU samples diverge:\n batch  %v\n scalar %v", limit, a, b)
+		}
+	}
+}
+
+// TestSortCarriedValue: the Val aggregate rides through the sort per row.
+func TestSortCarriedValue(t *testing.T) {
+	d, _, sel := sortFixture(t, 3000, 5)
+	price := d.Lineitem.Column("l_extendedprice")
+	disc := d.Lineitem.Column("l_discount")
+	agg := &Aggregate{
+		Cols: []*columnar.Column{price, disc},
+		F:    func(row int) float64 { return price.F64()[row] * disc.F64()[row] },
+	}
+	c := cpu.MustNew(cpu.ScaledXeon())
+	s, err := NewSort(c, []SortKey{{Col: price, Desc: true}}, 7, agg, 3000, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := NewSortRun(s)
+	for _, r := range sel {
+		run.AddOne(c, int(r))
+	}
+	rows := FinalizeSort(c, 0, []*SortRun{run})
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		want := price.F64()[r.Row] * disc.F64()[r.Row]
+		if r.Value != want {
+			t.Errorf("row %d: carried value %v, want %v", r.Row, r.Value, want)
+		}
+		if r.Keys[0] != price.F64()[r.Row] {
+			t.Errorf("row %d: key %v, want %v", r.Row, r.Keys[0], price.F64()[r.Row])
+		}
+	}
+}
+
+// TestNewSortValidation pins the constructor's error checks.
+func TestNewSortValidation(t *testing.T) {
+	c := cpu.MustNew(cpu.ScaledXeon())
+	d, _, _ := sortFixture(t, 100, 1)
+	key := SortKey{Col: d.Lineitem.Column("l_quantity")}
+	if _, err := NewSort(c, nil, -1, nil, 100, 10); err == nil {
+		t.Error("no keys accepted")
+	}
+	if _, err := NewSort(c, []SortKey{{Col: nil}}, -1, nil, 100, 10); err == nil {
+		t.Error("nil key column accepted")
+	}
+	if _, err := NewSort(c, []SortKey{key}, -1, nil, 0, 10); err == nil {
+		t.Error("zero input size accepted")
+	}
+	if _, err := NewSort(c, []SortKey{key}, -1, nil, 100, 0); err == nil {
+		t.Error("zero run length accepted")
+	}
+	if _, err := NewSort(c, []SortKey{key}, 0, nil, 100, 10); err != nil {
+		t.Errorf("limit 0 rejected: %v", err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -159,6 +159,7 @@ func All() []Experiment {
 		{"ext-parallel", "Extension: morsel-driven multi-core scaling", ExtParallel},
 		{"ext-groupby", "Extension: morsel-driven grouped aggregation", ExtGroupBy},
 		{"ext-serve", "Extension: workload service — concurrency, latency, feedback cache", ExtServe},
+		{"ext-topk", "Extension: morsel-parallel Top-K/OrderBy operator", ExtTopK},
 	}
 }
 

@@ -48,6 +48,12 @@ type Request struct {
 	// hash table per pool core. Grouped queries run exclusively (they own
 	// the whole pool) and must use ModeFixed.
 	Groups []*exec.GroupBy
+	// Sorts, when non-nil, makes this an ordered (OrderBy/Limit) query: one
+	// compiled sort state per pool core. Each core the scheduler assigns
+	// collects qualifying tuples into its own partial heap or run buffer;
+	// the first core of the final subset merges them at completion. Ordered
+	// queries schedule like plain scans in every mode.
+	Sorts []*exec.Sort
 	// Mode selects fixed, progressive, or micro-adaptive execution.
 	Mode Mode
 	// Opt configures the progressive optimizer for adaptive modes.
@@ -98,6 +104,9 @@ type Outcome struct {
 	exec.Result
 	// Groups is the grouped-aggregation output (nil for plain scans).
 	Groups []exec.Group
+	// Sorted is the ordered output of an OrderBy/Limit query (nil
+	// otherwise).
+	Sorted []exec.SortedRow
 	// Stats is the optimizer telemetry (zero-valued under ModeFixed);
 	// FinalOrder is in plan-order indexes even after a warm start.
 	Stats core.ParallelMicroAdaptiveStats
@@ -126,6 +135,11 @@ type query struct {
 	warm     []int       // applied warm order (nil = cold)
 	warmImpl exec.ScanImpl
 	step     *core.BlockStepper // nil for fixed-order and grouped queries
+
+	// sorts holds the per-pool-core sort collectors of an ordered query
+	// (indexed by core id; attached to the subset's engines per segment).
+	sorts  []*exec.SortRun
+	sorted []exec.SortedRow
 
 	numVec, cursor int
 	cores          []int // current core subset, ascending; empty = descheduled
@@ -283,6 +297,12 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 		if len(req.Groups) != s.pool.Workers() {
 			return nil, fmt.Errorf("service: %d partial group tables for a %d-core pool", len(req.Groups), s.pool.Workers())
 		}
+		if len(req.Sorts) > 0 {
+			return nil, fmt.Errorf("service: a query cannot both group and sort")
+		}
+	}
+	if len(req.Sorts) > 0 && len(req.Sorts) != s.pool.Workers() {
+		return nil, fmt.Errorf("service: %d partial sort states for a %d-core pool", len(req.Sorts), s.pool.Workers())
 	}
 	s.stats.Submitted++
 	if s.cfg.QueueLimit > 0 && len(s.queue) >= s.cfg.QueueLimit {
@@ -349,6 +369,7 @@ func (q *query) outcome() Outcome {
 			Vectors:    q.vectors,
 		},
 		Groups:      q.groups,
+		Sorted:      q.sorted,
 		Stats:       q.st,
 		Arrival:     q.arrival,
 		Start:       q.start,
@@ -477,6 +498,12 @@ func (s *Server) prepareLocked(q *query) error {
 	}
 	q.base = base
 	q.numVec = s.pool.NumVectors(base)
+	if len(req.Sorts) > 0 {
+		q.sorts = make([]*exec.SortRun, len(req.Sorts))
+		for i, st := range req.Sorts {
+			q.sorts[i] = exec.NewSortRun(st)
+		}
+	}
 	if req.Mode == ModeProgressive || req.Mode == ModeMicroAdaptive {
 		step, err := core.NewBlockStepper(base, s.prof, s.pool.Workers(), req.Mode == ModeMicroAdaptive, req.Opt)
 		if err != nil {
@@ -546,6 +573,20 @@ func (s *Server) segmentLocked(q *query) error {
 			s.clock[w] = q.arrival
 		}
 	}
+	// An ordered query's collectors ride along on whichever cores this
+	// segment runs on; they are detached afterwards because the partitioner
+	// may hand the same cores to a different query next round.
+	if q.sorts != nil {
+		engines := s.pool.Engines()
+		for _, w := range q.cores {
+			engines[w].SetSortRun(q.sorts[w])
+		}
+		defer func() {
+			for _, w := range q.cores {
+				engines[w].SetSortRun(nil)
+			}
+		}()
+	}
 	switch {
 	case q.grouped():
 		return s.segmentGrouped(q)
@@ -554,6 +595,27 @@ func (s *Server) segmentLocked(q *query) error {
 	default:
 		return s.segmentFixed(q)
 	}
+}
+
+// finalizeSortLocked runs the sort merge of a completed ordered query on
+// the first core of its final subset: the subset barriers at bar (every
+// core must finish scanning before its partial state is readable), the
+// coordinator merges and emits, and every subset clock advances to the
+// merge's end — the same makespan-extension contract as the grouped
+// aggregation's table merge and the dedicated Engine.Exec path.
+func (s *Server) finalizeSortLocked(q *query, bar uint64) uint64 {
+	w0 := q.cores[0]
+	c := s.pool.Engines()[w0].CPU()
+	s0 := c.Sample()
+	c0 := c.Cycles()
+	q.sorted = exec.FinalizeSort(c, w0, q.sorts)
+	d := c.Cycles() - c0
+	q.counters = q.counters.Add(c.Sample().Sub(s0))
+	t1 := bar + d
+	for _, w := range q.cores {
+		s.clock[w] = t1
+	}
+	return t1
 }
 
 // segmentFixed runs one quantum of a fixed-order query: QuantumVectors
@@ -598,6 +660,9 @@ func (s *Server) segmentFixed(q *query) error {
 				done = s.clock[w]
 			}
 		}
+		if q.sorts != nil {
+			done = s.finalizeSortLocked(q, done)
+		}
 		q.busy = done - q.start
 		s.finishLocked(q, done)
 	}
@@ -635,9 +700,10 @@ func (s *Server) segmentAdaptive(q *query) error {
 	for i := range clocks {
 		clocks[i] = t0
 	}
-	// Per-block sum reduction (q.sum += br.Sum below) mirrors the dedicated
-	// parallel drivers' block loop bit for bit.
-	br, err := s.pool.RunBlockSubset(q.step.Query(), q.cursor, v1, q.cores, clocks, q.step.Impl(), nil)
+	// The external accumulator mirrors the dedicated adaptive drivers'
+	// block loop bit for bit: per-vector addition order into q.sum,
+	// regardless of block or scheduling-quantum boundaries.
+	br, err := s.pool.RunBlockSubset(q.step.Query(), q.cursor, v1, q.cores, clocks, q.step.Impl(), &q.sum)
 	if err != nil {
 		return err
 	}
@@ -668,10 +734,14 @@ func (s *Server) segmentAdaptive(q *query) error {
 	}
 	q.busy += br.MaxCycles + extra
 	q.qual += br.Qualifying
-	q.sum += br.Sum
 	q.vectors += br.Vectors
 	q.cursor = v1
 	if last {
+		if q.sorts != nil {
+			t0 := t1
+			t1 = s.finalizeSortLocked(q, t1)
+			q.busy += t1 - t0
+		}
 		s.finishLocked(q, t1)
 	}
 	return nil

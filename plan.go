@@ -26,7 +26,12 @@ type Plan struct {
 	steps []planStep
 	sum   string // aggregate expression, "" = none
 	group *groupSpec
-	err   error // first builder error, surfaced by Compile
+	order []orderSpec
+	// limit is the Top-K bound; hasLimit distinguishes Limit(0) from "no
+	// limit declared".
+	limit    int
+	hasLimit bool
+	err      error // first builder error, surfaced by Compile
 }
 
 // stepKind discriminates plan steps.
@@ -72,6 +77,23 @@ type planStep struct {
 type groupSpec struct {
 	key, value string
 }
+
+// orderSpec is one ordering key of a Plan.
+type orderSpec struct {
+	col  string
+	desc bool
+}
+
+// SortDir selects an ordering direction for Plan.OrderBy.
+type SortDir int
+
+// Ordering directions.
+const (
+	// Asc orders ascending (the default).
+	Asc SortDir = iota
+	// Desc orders descending.
+	Desc
+)
 
 // Scan starts a plan over the named driving table. The engine's data sets
 // drive scans from "lineitem"; the orders and part tables are build sides
@@ -156,6 +178,42 @@ func (p *Plan) GroupBy(key, value string) *Plan {
 	return p
 }
 
+// OrderBy emits the qualifying tuples ordered by the named driving-table
+// column, ascending unless Desc is given. Repeated OrderBy calls append
+// secondary keys (earlier calls take precedence); remaining ties break by
+// table row order, so the output is fully deterministic. The ordered rows
+// appear in ExecResult.Rows, each carrying its sort-key values and — when
+// the plan also has Sum — the per-row value of the aggregate expression.
+func (p *Plan) OrderBy(col string, dir ...SortDir) *Plan {
+	spec := orderSpec{col: col}
+	switch len(dir) {
+	case 0:
+	case 1:
+		switch dir[0] {
+		case Asc:
+		case Desc:
+			spec.desc = true
+		default:
+			p.fail(fmt.Errorf("progopt: OrderBy(%q): unknown direction %d", col, int(dir[0])))
+			return p
+		}
+	default:
+		p.fail(fmt.Errorf("progopt: OrderBy(%q): at most one direction, got %d", col, len(dir)))
+		return p
+	}
+	p.order = append(p.order, spec)
+	return p
+}
+
+// Limit truncates the ordered output to its first n rows (Top-K). It
+// requires OrderBy and n >= 0, both validated by Compile; a limited plan
+// executes the cache-conscious bounded-heap path instead of the full
+// run-merge sort.
+func (p *Plan) Limit(n int) *Plan {
+	p.limit, p.hasLimit = n, true
+	return p
+}
+
 // fail records the first builder error for Compile to report.
 func (p *Plan) fail(err error) {
 	if p.err == nil {
@@ -237,6 +295,26 @@ func (p *Plan) fingerprintTerms() ([]string, error) {
 	}
 	if p.group != nil {
 		terms = append(terms, "g|"+p.group.key+"|"+p.group.value)
+	}
+	if len(p.order) > 0 {
+		// All ordering keys form one term: unlike filter steps, sort-key
+		// precedence is semantic, and a single term preserves it through the
+		// order-independent hash.
+		var b strings.Builder
+		b.WriteString("o")
+		for _, o := range p.order {
+			b.WriteString("|")
+			b.WriteString(o.col)
+			if o.desc {
+				b.WriteString(":d")
+			} else {
+				b.WriteString(":a")
+			}
+		}
+		terms = append(terms, b.String())
+	}
+	if p.hasLimit {
+		terms = append(terms, "k|"+strconv.Itoa(p.limit))
 	}
 	return terms, nil
 }

@@ -165,6 +165,8 @@ type Query struct {
 	q *exec.Query
 	// group is the compiled grouped aggregation, nil for plain scans.
 	group *groupExec
+	// sort is the compiled OrderBy/Limit, nil for unordered plans.
+	sort *sortExec
 	// sumExpr is the plan's aggregate expression ("" = none), kept for
 	// Explain.
 	sumExpr string
@@ -188,7 +190,7 @@ func (q *Query) WithOrder(perm []int) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: qo, group: q.group, sumExpr: q.sumExpr}, nil
+	return &Query{q: qo, group: q.group, sort: q.sort, sumExpr: q.sumExpr}, nil
 }
 
 // BuildQ6 builds TPC-H Query 6 (five reorderable predicates) over the data

@@ -5,6 +5,7 @@ import (
 
 	"progopt/internal/core"
 	"progopt/internal/exec"
+	"progopt/internal/hw/pmu"
 )
 
 // Mode selects how Exec drives a query.
@@ -52,14 +53,32 @@ type ImplStats struct {
 	BranchingVectors, BranchFreeVectors, ImplSwitches int
 }
 
+// OrderedRow is one row of a sorted (OrderBy/Limit) plan's output.
+type OrderedRow struct {
+	// Row is the driving-table row id — the deterministic tie-break, and a
+	// handle back into the data set.
+	Row int64
+	// Keys holds the sort-key values in OrderBy precedence order
+	// (integer-kind columns widened to float64).
+	Keys []float64
+	// Value is the plan's Sum expression evaluated for this row (0 when the
+	// plan has no Sum). Result.Sum still totals the expression over all
+	// qualifying tuples, limit or not.
+	Value float64
+}
+
 // ExecResult is the outcome of one Exec call: the execution result, the
-// grouped output when the plan groups, and optimizer telemetry when the mode
-// adapts.
+// grouped output when the plan groups, the ordered output when it sorts,
+// and optimizer telemetry when the mode adapts.
 type ExecResult struct {
 	Result
 	// Groups holds the grouped-aggregation output rows (sorted by key) when
 	// the plan has a GroupBy step; nil otherwise.
 	Groups []GroupRow
+	// Rows holds the ordered output when the plan has OrderBy (truncated to
+	// Limit when one is set); nil otherwise. Bit-identical across execution
+	// modes, worker counts, and Config.ScalarExec.
+	Rows []OrderedRow
 	// Stats reports optimizer actions (zero-valued under ModeFixed).
 	Stats Stats
 	// Impl reports implementation choices (zero-valued unless
@@ -96,6 +115,14 @@ func (e *Engine) Exec(q *Query, opts ExecOptions) (ExecResult, error) {
 		}
 		return e.execGrouped(q)
 	}
+	if q.sort != nil {
+		return e.execSorted(q, opts)
+	}
+	return e.execScan(q, opts)
+}
+
+// execScan runs an unordered plan in the requested mode.
+func (e *Engine) execScan(q *Query, opts ExecOptions) (ExecResult, error) {
 	switch opts.Mode {
 	case ModeProgressive:
 		return e.execProgressive(q, opts.Progressive)
@@ -103,6 +130,70 @@ func (e *Engine) Exec(q *Query, opts ExecOptions) (ExecResult, error) {
 		return e.execMicroAdaptive(q, opts.Progressive)
 	default:
 		return e.execFixed(q)
+	}
+}
+
+// execSorted runs a sorted plan: the scan executes in the requested mode —
+// fixed, progressive, or micro-adaptive, serial or morsel-parallel — with a
+// fresh per-core sort collector attached to every engine, then the
+// coordinator core (core 0) merges the partial heaps or sorted runs at the
+// barrier and emits the ordered output, extending the run's makespan and
+// counters exactly like the grouped aggregation's merge. The emitted rows
+// are the unique total-order result (keys, then row id), so they are
+// bit-identical across modes, worker counts, and Config.ScalarExec.
+func (e *Engine) execSorted(q *Query, opts ExecOptions) (ExecResult, error) {
+	runs := make([]*exec.SortRun, len(q.sort.states))
+	for i, s := range q.sort.states {
+		runs[i] = exec.NewSortRun(s)
+	}
+	if e.par != nil {
+		engines := e.par.Engines()
+		if len(engines) != len(runs) {
+			return ExecResult{}, fmt.Errorf("progopt: query compiled for %d cores, engine has %d", len(runs), len(engines))
+		}
+		for i, w := range engines {
+			w.SetSortRun(runs[i])
+		}
+		defer func() {
+			for _, w := range engines {
+				w.SetSortRun(nil)
+			}
+		}()
+	} else {
+		e.eng.SetSortRun(runs[0])
+		defer e.eng.SetSortRun(nil)
+	}
+	out, err := e.execScan(q, opts)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	coord := e.cpu
+	if e.par != nil {
+		coord = e.par.Engines()[0].CPU()
+	}
+	s0 := coord.Sample()
+	c0 := coord.Cycles()
+	rows := exec.FinalizeSort(coord, 0, runs)
+	out.Cycles += coord.Cycles() - c0
+	out.Millis = coord.MillisOf(out.Cycles)
+	addCounters(out.Counters, coord.Sample().Sub(s0))
+	out.Rows = toOrderedRows(rows)
+	return out, nil
+}
+
+// toOrderedRows maps the executor's sorted rows to the public type.
+func toOrderedRows(rows []exec.SortedRow) []OrderedRow {
+	out := make([]OrderedRow, len(rows))
+	for i, r := range rows {
+		out[i] = OrderedRow{Row: r.Row, Keys: r.Keys, Value: r.Value}
+	}
+	return out
+}
+
+// addCounters folds a PMU delta into a public counter map.
+func addCounters(m map[string]uint64, delta pmu.Sample) {
+	for ev := pmu.Event(0); ev < pmu.NumEvents; ev++ {
+		m[ev.String()] += delta.Get(ev)
 	}
 }
 

@@ -211,6 +211,9 @@ func (s *Server) SubmitAt(d *Dataset, p *Plan, opts ExecOptions, arrival uint64)
 	if q.group != nil {
 		req.Groups = q.group.tables
 	}
+	if q.sort != nil {
+		req.Sorts = q.sort.states
+	}
 	tk, err := s.svc.Submit(req)
 	if err != nil {
 		return nil, err
@@ -256,6 +259,9 @@ func (t *Ticket) Wait() (ExecResult, error) {
 			rows[i] = GroupRow{Key: g.Key, Sum: g.Sum, Count: g.Count}
 		}
 		out.Groups = rows
+	}
+	if o.Sorted != nil {
+		out.Rows = toOrderedRows(o.Sorted)
 	}
 	out.Stats = toStats(o.Stats.ParallelStats.Stats)
 	out.Impl = ImplStats{

@@ -331,3 +331,61 @@ predicted: BNT=64791 MP=33455 L3=15359 out=3904
 		t.Errorf("served explain drifted:\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestExplainSortedServedGolden pins the full Explain rendering of a served
+// *sorted* query: the order-by line (keys, direction, limit, physical
+// strategy, per-core partial states) plus the complete serving provenance —
+// plan-cache hit, feedback warm-start order, fingerprint. Every provenance
+// field must be populated; an empty field here is a wiring regression
+// between the plan cache, the ticket, and Explain.
+func TestExplainSortedServedGolden(t *testing.T) {
+	e, d := serveEngine(t, 4)
+	srv, err := NewServer(e, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ExecOptions{Mode: ModeProgressive, Progressive: Progressive{Interval: 5}}
+	sorted := func() *Plan {
+		return convergentPlan(d, false).OrderBy("l_extendedprice", Desc).Limit(10)
+	}
+	t1, err := srv.Submit(d, sorted(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := t1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := srv.Submit(d, sorted(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := t2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Served == nil || cold.Served.Fingerprint == "" {
+		t.Fatalf("cold serving provenance incomplete: %+v", cold.Served)
+	}
+	if warm.Served == nil || !warm.Served.PlanCacheHit || !warm.Served.WarmStart {
+		t.Fatalf("warm serving provenance incomplete: %+v", warm.Served)
+	}
+	if len(warm.Rows) != 10 || !reflect.DeepEqual(cold.Rows, warm.Rows) {
+		t.Fatalf("served ordered rows wrong: %d cold vs %d warm", len(cold.Rows), len(warm.Rows))
+	}
+	plan, err := e.Explain(t2.Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`Scan lineitem (49152 rows; batch exec, 4 worker(s))
+  0: ship80                   predicate sel=0.8000  input=1.0000
+  1: disc<=.05                predicate sel=0.5484  input=0.8000
+  2: qty<10                   predicate sel=0.1810  input=0.4388
+  order by l_extendedprice desc limit 10 (bounded heap) [4 partial state(s)]
+served: plan-cache hit; feedback warm-start order 2-1-0; fingerprint %s
+predicted: BNT=64791 MP=33455 L3=15359 out=3904
+`, cold.Served.Fingerprint)
+	if got := plan.String(); got != want {
+		t.Errorf("sorted served explain drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -353,6 +353,7 @@ func BenchmarkRunParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
@@ -363,6 +364,43 @@ func BenchmarkRunParallel(b *testing.B) {
 		cycles = res.Cycles
 	}
 	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// TestRunParallelSteadyStateAllocs pins the scratch-reuse audit of the
+// morsel scheduler: once warm, Parallel.Run allocates only its per-call
+// result bookkeeping (the busy and WorkerCycles slices and the boxed
+// result), independent of table size — wave slots, per-core selection
+// buffers, and sample scratch are all reused across calls. The budget has
+// headroom for the handful of fixed-size allocations the run makes; what it
+// must catch is any O(vectors) or O(rows) allocation sneaking into the wave
+// loop. (AllocsPerRun measures at GOMAXPROCS 1, i.e. the inline wave path —
+// the host pool's dispatch closures are per-wave by design and benchmarked,
+// not asserted, via BenchmarkRunParallel -cpu 4.)
+func TestRunParallelSteadyStateAllocs(t *testing.T) {
+	d, err := tpch.Generate(tpch.Config{Lineitems: 64 * 1024, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := exec.Q6(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := exec.NewParallel(cpu.ScaledXeon(), 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(q); err != nil { // warm-up: bind + grow scratch
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := p.Run(q); err != nil {
+			t.Error(err)
+		}
+	})
+	const budget = 16
+	if avg > budget {
+		t.Errorf("Parallel.Run steady state: %.1f allocs/op, budget %d", avg, budget)
+	}
 }
 
 // --- Ablation benches (DESIGN.md, "Key design decisions") ---

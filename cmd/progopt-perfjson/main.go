@@ -2,15 +2,31 @@
 // the BENCH_perf.json artifact CI uploads per commit — the host-performance
 // trajectory of the simulator's hot paths (schema progopt-perf/v2; v2 adds
 // the BenchmarkRunTopK sort row with an unchanged field layout, see
-// DESIGN.md for the back-compat note).
+// DESIGN.md for the back-compat note; later additive fields: cpu, samples).
 //
 // Usage:
 //
 //	go test -run xxx -bench 'BenchmarkRun(TupleAtATime|Batch|Parallel|TopK)$' \
-//	    -benchmem -benchtime 3x . | go run ./cmd/progopt-perfjson -out BENCH_perf.json
+//	    -benchmem -benchtime 3x -count 3 -cpu 1,4 . \
+//	    | go run ./cmd/progopt-perfjson -out BENCH_perf.json \
+//	        [-baseline BENCH_baseline.json -max-regress 10 -summary sum.md]
+//
+// Result lines repeating the same benchmark (from -count) are aggregated to
+// one row per (name, cpu) holding the median of every numeric column — the
+// artifact records medians, not single samples. The -cpu GOMAXPROCS suffix
+// becomes the row's cpu field, so `-cpu 1,4` yields two rows per benchmark.
+//
+// With -baseline, the freshly built artifact is compared row-by-row against
+// a previously committed one: the run fails (exit 1) when any tracked
+// median ns/op regresses by more than -max-regress percent, or when any
+// sim_cycles metric differs at all — the simulated work is deterministic,
+// so host-independent counters must match bit for bit while wall-clock gets
+// a noise allowance. The comparison table (benchstat-style old/new/delta)
+// goes to stdout and, with -summary, to a markdown file for the CI job
+// summary.
 //
 // Only benchmark result lines are consumed; everything else (goos/pkg
-// headers, PASS/ok trailers) is ignored, and the raw line is preserved in
+// headers, PASS/ok trailers) is ignored, and a raw line is preserved in
 // the artifact for forensics.
 package main
 
@@ -20,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -27,22 +44,27 @@ import (
 // Schema is the artifact format identifier. v2 is v1 plus the sort
 // benchmark row (BenchmarkRunTopK); the per-bench field layout is
 // unchanged, so v1 consumers can read v2 documents by ignoring the version.
+// The cpu and samples fields are additive and omitted when absent.
 const Schema = "progopt-perf/v2"
 
-// Bench is one benchmark result row.
+// Bench is one benchmark result row (the median across -count repeats).
 type Bench struct {
 	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped.
 	Name string `json:"name"`
-	// Iterations is b.N.
+	// Cpu is the GOMAXPROCS the row ran at (the -N suffix; 1 when absent).
+	Cpu int `json:"cpu"`
+	// Iterations is b.N of the median sample.
 	Iterations int64 `json:"iterations"`
-	// NsPerOp is host wall-clock per operation.
+	// NsPerOp is host wall-clock per operation (median across samples).
 	NsPerOp float64 `json:"ns_per_op"`
 	// BytesPerOp / AllocsPerOp are present when -benchmem was set.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Metrics carries every custom b.ReportMetric unit (e.g. sim_cycles).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
-	// Raw is the verbatim result line.
+	// Samples is how many result lines were aggregated (omitted when 1).
+	Samples int `json:"samples,omitempty"`
+	// Raw is one verbatim result line of the group.
 	Raw string `json:"raw"`
 }
 
@@ -54,19 +76,23 @@ type Artifact struct {
 
 func main() {
 	out := flag.String("out", "BENCH_perf.json", "output path")
+	baseline := flag.String("baseline", "", "baseline artifact to compare against (empty = no gate)")
+	maxRegress := flag.Float64("max-regress", 10, "max tolerated median ns/op regression, percent")
+	summary := flag.String("summary", "", "write the comparison table as markdown to this path")
 	flag.Parse()
 
 	art := Artifact{Schema: Schema}
+	var samples []Bench
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
-		line := sc.Text()
-		if b, ok := parseBenchLine(line); ok {
-			art.Benches = append(art.Benches, b)
+		if b, ok := parseBenchLine(sc.Text()); ok {
+			samples = append(samples, b)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
 	}
+	art.Benches = aggregate(samples)
 	if len(art.Benches) == 0 {
 		fatal(fmt.Errorf("no benchmark result lines on stdin"))
 	}
@@ -78,6 +104,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d benches)\n", *out, len(art.Benches))
+
+	if *baseline != "" {
+		ok, table := compare(loadArtifact(*baseline), art, *maxRegress)
+		fmt.Print(table)
+		if *summary != "" {
+			if err := os.WriteFile(*summary, []byte(table), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		if !ok {
+			fatal(fmt.Errorf("performance gate failed (max regression %.0f%%, sim_cycles exact)", *maxRegress))
+		}
+	}
 }
 
 // parseBenchLine decodes one `BenchmarkName  N  v unit  v unit ...` row.
@@ -94,12 +133,13 @@ func parseBenchLine(line string) (Bench, bool) {
 		return Bench{}, false
 	}
 	name := fields[0]
+	cpu := 1
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i] // strip GOMAXPROCS suffix
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, cpu = name[:i], n // split off the GOMAXPROCS suffix
 		}
 	}
-	b := Bench{Name: name, Iterations: iters, Raw: line}
+	b := Bench{Name: name, Cpu: cpu, Iterations: iters, Raw: line}
 	// Remaining fields come in (value, unit) pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -121,6 +161,143 @@ func parseBenchLine(line string) (Bench, bool) {
 		}
 	}
 	return b, b.NsPerOp > 0
+}
+
+// aggregate folds repeated (name, cpu) samples — `-count N` runs — into one
+// row holding the median of every numeric column, in first-seen order.
+func aggregate(samples []Bench) []Bench {
+	type key struct {
+		name string
+		cpu  int
+	}
+	groups := map[key][]Bench{}
+	var order []key
+	for _, s := range samples {
+		k := key{s.Name, s.Cpu}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], s)
+	}
+	out := make([]Bench, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		b := g[0]
+		if len(g) > 1 {
+			b.Samples = len(g)
+			b.NsPerOp = median(g, func(s Bench) (float64, bool) { return s.NsPerOp, true })
+			b.BytesPerOp = medianPtr(g, func(s Bench) *float64 { return s.BytesPerOp })
+			b.AllocsPerOp = medianPtr(g, func(s Bench) *float64 { return s.AllocsPerOp })
+			units := map[string]bool{}
+			for _, s := range g {
+				for u := range s.Metrics {
+					units[u] = true
+				}
+			}
+			if len(units) > 0 {
+				b.Metrics = map[string]float64{}
+				for u := range units {
+					b.Metrics[u] = median(g, func(s Bench) (float64, bool) { v, ok := s.Metrics[u]; return v, ok })
+				}
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// median of a column across samples (lower-middle for even counts, so the
+// value always comes from a real sample — sim_cycles stays exact).
+func median(g []Bench, col func(Bench) (float64, bool)) float64 {
+	var vals []float64
+	for _, s := range g {
+		if v, ok := col(s); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	return vals[(len(vals)-1)/2]
+}
+
+func medianPtr(g []Bench, col func(Bench) *float64) *float64 {
+	any := false
+	m := median(g, func(s Bench) (float64, bool) {
+		p := col(s)
+		if p == nil {
+			return 0, false
+		}
+		any = true
+		return *p, true
+	})
+	if !any {
+		return nil
+	}
+	return ptr(m)
+}
+
+// compare gates the new artifact against the baseline: every baseline row
+// present in the new artifact must hold its median ns/op within maxRegress
+// percent and reproduce sim_cycles exactly. Returns pass/fail and a
+// benchstat-style markdown table.
+func compare(old, cur Artifact, maxRegress float64) (bool, string) {
+	find := func(a Artifact, name string, cpu int) *Bench {
+		for i := range a.Benches {
+			if a.Benches[i].Name == name && a.Benches[i].Cpu == cpu {
+				return &a.Benches[i]
+			}
+		}
+		return nil
+	}
+	ok := true
+	var b strings.Builder
+	b.WriteString("### Host-performance gate vs baseline\n\n")
+	b.WriteString("| benchmark | cpu | old ns/op | new ns/op | delta | sim_cycles | status |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, o := range old.Benches {
+		n := find(cur, o.Name, o.Cpu)
+		if n == nil {
+			ok = false
+			fmt.Fprintf(&b, "| %s | %d | %.0f | — | — | — | MISSING |\n", o.Name, o.Cpu, o.NsPerOp)
+			continue
+		}
+		delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		cyc := "n/a"
+		status := "ok"
+		if oc, hasOld := o.Metrics["sim_cycles"]; hasOld {
+			if nc, hasNew := n.Metrics["sim_cycles"]; hasNew && nc == oc {
+				cyc = "exact"
+			} else {
+				cyc = fmt.Sprintf("DIVERGED %.0f → %.0f", oc, n.Metrics["sim_cycles"])
+				status = "FAIL"
+				ok = false
+			}
+		}
+		if delta > maxRegress {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(&b, "| %s | %d | %.0f | %.0f | %+.1f%% | %s | %s |\n",
+			o.Name, o.Cpu, o.NsPerOp, n.NsPerOp, delta, cyc, status)
+	}
+	return ok, b.String()
+}
+
+func loadArtifact(path string) Artifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if !strings.HasPrefix(a.Schema, "progopt-perf/") {
+		fatal(fmt.Errorf("%s: unexpected schema %q", path, a.Schema))
+	}
+	return a
 }
 
 func ptr(v float64) *float64 { return &v }

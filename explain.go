@@ -53,6 +53,10 @@ type PlanExplain struct {
 	SortStates int
 	Limit      int
 	LimitSet   bool
+	// Pipeline describes the fused execution pipeline ("" when the engine
+	// runs unfused): the operator chain collapsed into single-pass batch
+	// kernels, e.g. "filter+join+agg [fused]".
+	Pipeline string
 	// Provenance describes how a workload server most recently obtained
 	// this query — plan-cache hit or fresh compile, feedback warm start or
 	// cold start, and the plan fingerprint ("" when the query has never
@@ -92,12 +96,38 @@ func (p PlanExplain) String() string {
 		}
 		fmt.Fprintf(&b, " [%d partial state(s)]\n", p.SortStates)
 	}
+	if p.Pipeline != "" {
+		fmt.Fprintf(&b, "  pipeline: %s\n", p.Pipeline)
+	}
 	if p.Provenance != "" {
 		fmt.Fprintf(&b, "served: %s\n", p.Provenance)
 	}
 	fmt.Fprintf(&b, "predicted: BNT=%.0f MP=%.0f L3=%.0f out=%.0f\n",
 		p.PredictedBNT, p.PredictedMP, p.PredictedL3, p.PredictedQualifying)
 	return b.String()
+}
+
+// fusedPipelineDesc names the single-pass kernel chain the batch engine
+// collapses the plan into, e.g. "filter+join+agg [fused]".
+func fusedPipelineDesc(q *Query) string {
+	var parts []string
+	for _, op := range q.q.Ops {
+		switch op.(type) {
+		case *exec.Predicate:
+			parts = append(parts, "filter")
+		case *exec.FKJoin:
+			parts = append(parts, "join")
+		default:
+			parts = append(parts, "op")
+		}
+	}
+	switch {
+	case q.group != nil:
+		parts = append(parts, "group")
+	case q.sumExpr != "":
+		parts = append(parts, "agg")
+	}
+	return strings.Join(parts, "+") + " [fused]"
 }
 
 // fmtOrder renders an operator permutation as "2-0-1".
@@ -177,6 +207,9 @@ func (e *Engine) Explain(q *Query) (PlanExplain, error) {
 		sels[i] = oe.TrueSelectivity
 		input *= oe.TrueSelectivity
 		out.Ops = append(out.Ops, oe)
+	}
+	if !e.scalar && e.eng.Fused() {
+		out.Pipeline = fusedPipelineDesc(q)
 	}
 	prof := e.cpu.Profile()
 	params := peo.Params{

@@ -64,6 +64,88 @@ func TestExplain(t *testing.T) {
 	}
 }
 
+// TestExplainFusedGolden pins the fused-pipeline rendering: batch engines
+// report the single-pass kernel chain the plan collapses into, unfused and
+// scalar engines report nothing.
+func TestExplainFusedGolden(t *testing.T) {
+	e := testEngine(t)
+	d, err := e.GenerateTPCH(20000, 16, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.BuildPipeline(d,
+		[]Predicate{{Column: "l_quantity", Op: CmpLT, Int: 25}},
+		[]JoinSpec{{Build: "orders", FilterSelectivity: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "filter+join [fused]"; plan.Pipeline != want {
+		t.Errorf("pipeline = %q, want %q", plan.Pipeline, want)
+	}
+	if s := plan.String(); !strings.Contains(s, "\n  pipeline: filter+join [fused]\n") {
+		t.Errorf("rendering lacks the pipeline line:\n%s", s)
+	}
+
+	q6, err := e.BuildQ6(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan6, err := e.Explain(q6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "filter+filter+filter+filter+filter+agg [fused]"; plan6.Pipeline != want {
+		t.Errorf("Q6 pipeline = %q, want %q", plan6.Pipeline, want)
+	}
+
+	qg, err := e.Compile(d, Scan("lineitem").
+		Filter("l_discount", CmpGE, 0.05).
+		GroupBy("l_quantity", "l_extendedprice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plang, err := e.Explain(qg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "filter+group [fused]"; plang.Pipeline != want {
+		t.Errorf("grouped pipeline = %q, want %q", plang.Pipeline, want)
+	}
+
+	// Unfused and scalar engines run per-operator kernels: no pipeline line.
+	for _, cfg := range []Config{
+		{VectorSize: 1024, NoFuse: true},
+		{VectorSize: 1024, ScalarExec: true},
+	} {
+		eu, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		du, err := eu.GenerateTPCH(20000, 16, OrderNatural)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qu, err := eu.BuildQ6(du)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planu, err := eu.Explain(qu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if planu.Pipeline != "" {
+			t.Errorf("%+v: pipeline = %q, want none", cfg, planu.Pipeline)
+		}
+		if s := planu.String(); strings.Contains(s, "pipeline:") {
+			t.Errorf("%+v: rendering has a pipeline line:\n%s", cfg, s)
+		}
+	}
+}
+
 func TestExplainWithJoin(t *testing.T) {
 	e := testEngine(t)
 	d, err := e.GenerateTPCH(20000, 16, OrderNatural)

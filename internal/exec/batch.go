@@ -48,6 +48,9 @@ func (e *Engine) batchSelect(q *Query, lo, hi int) ([]int32, error) {
 	}
 	next := e.selB
 	c := e.cpu
+	if !e.noFuse {
+		return fusedPipeline(c, q.Ops, cur, next), nil
+	}
 	for si, op := range q.Ops {
 		if len(cur) == 0 {
 			// No survivors reach the remaining operators — the scalar loop

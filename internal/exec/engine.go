@@ -111,6 +111,10 @@ type Engine struct {
 	cpu        *cpu.CPU
 	vectorSize int
 	scalar     bool
+	// noFuse disables the fused batch pipeline (see fuse.go), keeping the
+	// per-op EvalBatch path as the property-test oracle. Fused and unfused
+	// runs are bit-identical in results, cycles, and every PMU counter.
+	noFuse bool
 	// selA/selB are the reusable selection-vector buffers of the batch
 	// pipeline; mask is the branch-free batch kernel's qualification mask.
 	selA, selB []int32
@@ -145,6 +149,16 @@ func (e *Engine) SetScalar(scalar bool) { e.scalar = scalar }
 
 // Scalar reports whether the engine runs the tuple-at-a-time row loop.
 func (e *Engine) Scalar() bool { return e.scalar }
+
+// SetFuse enables (default) or disables the fused batch pipeline: specialized
+// Filter→FKJoin→aggregate kernels with run-length-encoded branch retirement.
+// Both settings produce bit-identical results, cycles, and PMU counters; the
+// unfused path exists as the equivalence oracle. Ignored by the scalar row
+// loop, which is its own reference semantics.
+func (e *Engine) SetFuse(enable bool) { e.noFuse = !enable }
+
+// Fused reports whether the batch pipeline runs its fused kernels.
+func (e *Engine) Fused() bool { return !e.noFuse }
 
 // MustEngine is NewEngine that panics on error.
 func MustEngine(c *cpu.CPU, vectorSize int) *Engine {

@@ -90,7 +90,7 @@ func (j *FKJoin) Eval(c *cpu.CPU, row int) bool {
 	c.Load(j.Key.Addr(row))
 	key := j.Key.Int64At(row)
 	if key < 0 || key >= j.buildRows {
-		panic(fmt.Sprintf("exec: fk key %d outside build side [0,%d)", key, j.buildRows))
+		panic(keyRangeError(key, j.buildRows))
 	}
 	// Dense-key hash: bucket = key. Locality of probes mirrors key order.
 	bucket := uint64(key) & (j.bucketLen - 1)
@@ -132,7 +132,7 @@ func (j *FKJoin) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
 			k = j.Key.Int64At(int(r)) // panics for non-integer keys, like Eval
 		}
 		if k < 0 || k >= j.buildRows {
-			panic(fmt.Sprintf("exec: fk key %d outside build side [0,%d)", k, j.buildRows))
+			panic(keyRangeError(k, j.buildRows))
 		}
 		return k
 	}
@@ -172,6 +172,12 @@ func (j *FKJoin) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
 		}
 	}
 	return out
+}
+
+// keyRangeError formats the out-of-range FK panic shared by every probe
+// path (scalar, batched, fused).
+func keyRangeError(key, buildRows int64) string {
+	return fmt.Sprintf("exec: fk key %d outside build side [0,%d)", key, buildRows)
 }
 
 // JoinSelectivity scans the build-side filter directly (no simulation) and

@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
@@ -19,21 +21,37 @@ import (
 // All cores share one synthetic physical address space (columns are bound
 // once, by whichever CPU allocated them) but simulate private cache
 // hierarchies, branch predictors, and PMUs — the private-L1/L2 topology of
-// the paper's evaluation machine. Because scheduling runs on simulated
-// clocks rather than host threads, everything is deterministic: Qualifying
-// and Sum are bit-identical to a serial run (the aggregate is reduced in
-// global vector order), and cycle counts and PMU samples reproduce exactly
-// across runs and host machines.
+// the paper's evaluation machine. Scheduling decisions depend only on
+// simulated clocks, so everything is deterministic: Qualifying and Sum are
+// bit-identical to a serial run (the aggregate is reduced in global vector
+// order), and cycle counts and PMU samples reproduce exactly across runs,
+// host machines, and GOMAXPROCS settings.
+//
+// On multi-core hosts the simulated cores really do run in parallel: the
+// scheduler certifies *waves* of morsel assignments whose core choice is
+// provably independent of the in-flight morsels' still-unknown durations
+// (see buildWave), executes each wave's members concurrently on a persistent
+// per-core goroutine pool, and merges results at the wave barrier in global
+// vector order. Because each member touches only its own simulated core and
+// the merge order is fixed by morsel index — never by host completion order
+// — the host schedule cannot influence any simulated observable.
 type Parallel struct {
 	workers    []*Engine
 	vectorSize int
-	// Per-block scratch, reused across blocks: the discrete-event scheduler
-	// serializes all simulated cores in host time, so one set of buffers
-	// serves every RunBlock/RunBlockSubset call. WorkerCycles is NOT part of
-	// this scratch — it escapes in BlockResult and stays per-call.
+	// Per-block scratch, reused across blocks: the coordinator serializes
+	// wave construction and merging in host time, so one set of buffers
+	// serves every RunBlock/RunBlockSubset/RunGroupBy call. WorkerCycles is
+	// NOT part of this scratch — it escapes in BlockResult and stays
+	// per-call.
 	blockCores    []int
 	blockClocks   []uint64
 	sampleScratch []pmu.Sample
+	waveSlots     []waveSlot
+	waveBusy      []bool
+	// pool holds the persistent host worker goroutines, started lazily by
+	// the first multi-member wave on a GOMAXPROCS > 1 host and reused across
+	// blocks until Close.
+	pool *hostPool
 }
 
 // NewParallel builds a parallel executor with the given number of worker
@@ -74,6 +92,27 @@ func (p *Parallel) VectorSize() int { return p.vectorSize }
 func (p *Parallel) SetScalar(scalar bool) {
 	for _, w := range p.workers {
 		w.SetScalar(scalar)
+	}
+}
+
+// SetFuse toggles the fused batch kernels on every worker (see
+// Engine.SetFuse). Both settings are bit-identical; the unfused path is the
+// equivalence oracle.
+func (p *Parallel) SetFuse(enable bool) {
+	for _, w := range p.workers {
+		w.SetFuse(enable)
+	}
+}
+
+// Close stops the persistent host worker goroutines, if any were started.
+// The Parallel remains usable afterwards (a later multi-member wave simply
+// starts a fresh pool); Close exists so long-lived processes that retire an
+// executor on a multi-core host do not leak its goroutines. On single-
+// threaded hosts no pool is ever started and Close is a no-op.
+func (p *Parallel) Close() {
+	if p.pool != nil {
+		p.pool.close()
+		p.pool = nil
 	}
 }
 
@@ -133,12 +172,9 @@ func (p *Parallel) RunBlockImpl(q *Query, vecLo, vecHi int, impl ScanImpl) (Bloc
 	return p.RunBlockImplSum(q, vecLo, vecHi, impl, nil)
 }
 
-// RunBlockImplSum is RunBlockImpl with RunBlockSubset's external aggregate
-// accumulator: a driver that splits one scan into many blocks passes the
-// same *float64 to every call and gets the exact per-vector addition order
-// (and therefore bit pattern) of an unsplit serial run, regardless of block
-// boundaries.
-func (p *Parallel) RunBlockImplSum(q *Query, vecLo, vecHi int, impl ScanImpl, sum *float64) (BlockResult, error) {
+// fullCores returns the reusable identity core subset and zeroed entry
+// clocks covering the whole pool.
+func (p *Parallel) fullCores() ([]int, []uint64) {
 	if p.blockCores == nil {
 		p.blockCores = make([]int, len(p.workers))
 		for i := range p.blockCores {
@@ -149,7 +185,202 @@ func (p *Parallel) RunBlockImplSum(q *Query, vecLo, vecHi int, impl ScanImpl, su
 	for i := range p.blockClocks {
 		p.blockClocks[i] = 0
 	}
-	return p.RunBlockSubset(q, vecLo, vecHi, p.blockCores, p.blockClocks, impl, sum)
+	return p.blockCores, p.blockClocks
+}
+
+// RunBlockImplSum is RunBlockImpl with RunBlockSubset's external aggregate
+// accumulator: a driver that splits one scan into many blocks passes the
+// same *float64 to every call and gets the exact per-vector addition order
+// (and therefore bit pattern) of an unsplit serial run, regardless of block
+// boundaries.
+func (p *Parallel) RunBlockImplSum(q *Query, vecLo, vecHi int, impl ScanImpl, sum *float64) (BlockResult, error) {
+	cores, clocks := p.fullCores()
+	return p.RunBlockSubset(q, vecLo, vecHi, cores, clocks, impl, sum)
+}
+
+// waveSlot is one certified (core, morsel) assignment of a wave: the
+// scheduling decision plus the member's results, written by whichever host
+// goroutine runs the member and read by the coordinator after the wave
+// barrier.
+type waveSlot struct {
+	pos    int // index into the block's core subset
+	core   int // pool core id
+	v      int // morsel (vector) index
+	lo, hi int // row range
+	// minEnd is the entry clock plus the guaranteed minimum duration of the
+	// morsel — the earliest simulated instant this core could possibly be
+	// idle again (see minVectorCycles).
+	minEnd uint64
+	group  *GroupBy // non-nil: run GroupVector instead of RunVectorImpl
+	// Results.
+	res      VectorResult
+	sel      []int32 // GroupVector survivors (aliases the engine's buffers)
+	cycles   uint64
+	err      error
+	pv       any // panic value captured on a pool goroutine
+	panicked bool
+}
+
+// minVectorCycles returns a guaranteed lower bound on the simulated cycles
+// any engine spends on an n-row vector: every execution mode of every driver
+// (batch, fused, scalar, branch-free, and GroupVector) unconditionally
+// retires the per-row loop bookkeeping (loopOverheadInstr = 2 instructions)
+// and the always-taken back-edge branch (2 instructions: cmp + jcc), so at
+// least 4n instructions issue, and load latencies, operator work, and stalls
+// only add. The bound is evaluated with the exact integer arithmetic of
+// CPU.Cycles (issue quarters, floored), which never exceeds the cycle delta
+// the extra instructions alone produce.
+func minVectorCycles(n, issueWidth int) uint64 {
+	return uint64(4*n) * 4 / uint64(issueWidth) / 4
+}
+
+// buildWave certifies a maximal run of morsels starting at vector v for
+// concurrent execution and returns the assignments (ascending morsel order)
+// plus the next unassigned vector.
+//
+// The serial reference scheduler assigns each morsel to the idle-first core:
+// the smallest clock, ties to the lowest subset position. A wave extends
+// this one decision at a time without waiting for in-flight durations: the
+// next morsel's core is chosen as the argmin over cores NOT yet in the wave
+// (their clocks are exact), and the choice is *certified* by checking that
+// the candidate's clock is strictly below every in-flight member's minEnd.
+// An in-flight core finishes at entry + duration >= minEnd > candidate
+// clock, so whatever the durations turn out to be, the reference scheduler
+// would also have picked this candidate — the strict inequality even
+// preserves the lowest-position tie rule, because a tie with an in-flight
+// core is impossible. The first morsel that fails certification ends the
+// wave (a barrier); each core therefore carries at most one morsel per wave.
+func (p *Parallel) buildWave(cores []int, clocks []uint64, v, vecHi, nRows int, gs []*GroupBy) ([]waveSlot, int) {
+	iw := p.workers[0].CPU().Profile().IssueWidth
+	slots := p.waveSlots[:0]
+	if cap(p.waveBusy) < len(cores) {
+		p.waveBusy = make([]bool, len(cores))
+	}
+	busy := p.waveBusy[:len(cores)]
+	for i := range busy {
+		busy[i] = false
+	}
+	for v < vecHi {
+		i := -1
+		for j := range clocks {
+			if !busy[j] && (i < 0 || clocks[j] < clocks[i]) {
+				i = j
+			}
+		}
+		if i < 0 {
+			break // every core already carries a morsel
+		}
+		certified := true
+		for s := range slots {
+			if clocks[i] >= slots[s].minEnd {
+				certified = false
+				break
+			}
+		}
+		if !certified {
+			break
+		}
+		lo := v * p.vectorSize
+		hi := lo + p.vectorSize
+		if hi > nRows {
+			hi = nRows
+		}
+		slot := waveSlot{
+			pos: i, core: cores[i], v: v, lo: lo, hi: hi,
+			minEnd: clocks[i] + minVectorCycles(hi-lo, iw),
+		}
+		if gs != nil {
+			slot.group = gs[cores[i]]
+		}
+		slots = append(slots, slot)
+		busy[i] = true
+		v++
+	}
+	p.waveSlots = slots
+	return slots, v
+}
+
+// hostPool holds the persistent host worker goroutines, one per simulated
+// core. Each goroutine drains its own job channel, so a wave member always
+// runs on the goroutine dedicated to its simulated core — one core's
+// simulation state is only ever touched from one goroutine at a time.
+type hostPool struct {
+	jobs []chan func()
+}
+
+func newHostPool(n int) *hostPool {
+	hp := &hostPool{jobs: make([]chan func(), n)}
+	for i := range hp.jobs {
+		ch := make(chan func(), 1)
+		hp.jobs[i] = ch
+		go func() {
+			for f := range ch {
+				f()
+			}
+		}()
+	}
+	return hp
+}
+
+func (hp *hostPool) close() {
+	for _, ch := range hp.jobs {
+		close(ch)
+	}
+}
+
+// runSlot executes one wave member on its simulated core and records the
+// result and cycle delta.
+func (p *Parallel) runSlot(q *Query, impl ScanImpl, s *waveSlot) {
+	eng := p.workers[s.core]
+	c := eng.CPU()
+	c0 := c.Cycles()
+	if s.group != nil {
+		s.sel, s.err = eng.GroupVector(q, s.group, s.lo, s.hi)
+	} else {
+		s.res, s.err = eng.RunVectorImpl(q, s.lo, s.hi, impl)
+	}
+	s.cycles = c.Cycles() - c0
+}
+
+// runWave executes the wave's members. Single-member waves — and any wave on
+// a single-threaded host — run inline on the calling goroutine with zero
+// dispatch overhead (and, on an error or panic, behavior identical to the
+// fully serial scheduler). Larger waves dispatch members 1..k to the
+// persistent per-core goroutines, run member 0 on the coordinator, and block
+// at the wave barrier. A member panic (e.g. an out-of-range foreign key) is
+// captured on the worker goroutine and re-raised on the coordinator after
+// the barrier.
+func (p *Parallel) runWave(q *Query, impl ScanImpl, slots []waveSlot) {
+	if len(slots) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i := range slots {
+			p.runSlot(q, impl, &slots[i])
+		}
+		return
+	}
+	if p.pool == nil {
+		p.pool = newHostPool(len(p.workers))
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(slots) - 1)
+	for i := 1; i < len(slots); i++ {
+		s := &slots[i]
+		p.pool.jobs[s.core] <- func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.pv, s.panicked = r, true
+				}
+				wg.Done()
+			}()
+			p.runSlot(q, impl, s)
+		}
+	}
+	p.runSlot(q, impl, &slots[0])
+	wg.Wait()
+	for i := range slots {
+		if slots[i].panicked {
+			panic(slots[i].pv)
+		}
+	}
 }
 
 // RunBlockSubset executes vectors [vecLo, vecHi) of the query morsel-driven
@@ -161,6 +392,12 @@ func (p *Parallel) RunBlockImplSum(q *Query, vecLo, vecHi int, impl ScanImpl, su
 // the subset core whose clock is smallest (ties to the lowest position), so
 // a core that enters the block behind the others naturally backfills first —
 // the same self-balancing rule RunBlock applies from an even start.
+//
+// Execution proceeds in certified waves (see buildWave) whose members run
+// host-parallel on multi-core machines; results merge at each wave barrier
+// in ascending morsel order, so every simulated observable — results, cycle
+// clocks, PMU counters, float bit patterns — is identical to the serial
+// scheduler's for every Workers and GOMAXPROCS combination.
 //
 // The returned BlockResult reports WorkerCycles[i] as the busy cycles core
 // cores[i] consumed in this call, MaxCycles as the block makespan measured
@@ -214,35 +451,28 @@ func (p *Parallel) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clock
 		startSamples[i] = p.workers[w].CPU().Sample()
 	}
 	var out BlockResult
-	for v := vecLo; v < vecHi; v++ {
-		i := 0
-		for j := 1; j < nw; j++ {
-			if clocks[j] < clocks[i] {
-				i = j
+	for v := vecLo; v < vecHi; {
+		slots, nv := p.buildWave(cores, clocks, v, vecHi, n, nil)
+		p.runWave(q, impl, slots)
+		// Wave barrier: merge in ascending morsel order. Clock updates feed
+		// the next wave's scheduling; the aggregate accumulates in global
+		// vector order for a serial-identical float bit pattern.
+		for i := range slots {
+			s := &slots[i]
+			if s.err != nil {
+				return BlockResult{}, s.err
 			}
+			clocks[s.pos] += s.cycles
+			busy[s.pos] += s.cycles
+			out.Qualifying += s.res.Qualifying
+			if sum != nil {
+				*sum += s.res.Sum
+			} else {
+				out.Sum += s.res.Sum
+			}
+			out.Vectors++
 		}
-		eng := p.workers[cores[i]]
-		c := eng.CPU()
-		c0 := c.Cycles()
-		lo := v * p.vectorSize
-		hi := lo + p.vectorSize
-		if hi > n {
-			hi = n
-		}
-		vr, err := eng.RunVectorImpl(q, lo, hi, impl)
-		if err != nil {
-			return BlockResult{}, err
-		}
-		d := c.Cycles() - c0
-		clocks[i] += d
-		busy[i] += d
-		out.Qualifying += vr.Qualifying
-		if sum != nil {
-			*sum += vr.Sum
-		} else {
-			out.Sum += vr.Sum
-		}
-		out.Vectors++
+		v = nv
 	}
 	out.WorkerCycles = busy
 	if out.Vectors > 0 {
@@ -265,9 +495,11 @@ func (p *Parallel) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clock
 // merges every other core's partial slots into its table, extending the
 // makespan — the standard shared-nothing parallel aggregation plan.
 //
-// Group values are reduced in global row order regardless of which core ran
-// which morsel, so Groups (keys, sums, counts) are bit-identical to a serial
-// Engine.RunGroupBy and deterministic across worker counts.
+// The scan runs in the same certified waves as RunBlockSubset (host-parallel
+// on multi-core machines); each wave's survivor vectors reduce into the
+// accumulator at the barrier in global vector order, so Groups (keys, sums,
+// counts) are bit-identical to a serial Engine.RunGroupBy and deterministic
+// across worker counts and GOMAXPROCS settings.
 func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 	if err := q.Validate(); err != nil {
 		return GroupResult{}, err
@@ -283,49 +515,45 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 	}
 	n := q.Table.NumRows()
 	numVec := p.NumVectors(q)
-	clocks := make([]uint64, nw)
-	startSamples := make([]pmu.Sample, nw)
+	cores, clocks := p.fullCores()
+	if cap(p.sampleScratch) < nw {
+		p.sampleScratch = make([]pmu.Sample, nw)
+	}
+	startSamples := p.sampleScratch[:nw]
 	for w, eng := range p.workers {
 		startSamples[w] = eng.CPU().Sample()
 	}
 	acc := gs[0].accTable()
 	// workerKeys tracks which keys each core's partial table holds, for the
 	// merge phase (sorted for determinism). Count doubles as the presence
-	// marker; sums stay zero.
+	// marker; sums stay zero. The tables escape into nothing but grow with
+	// the key domain, so they stay per-call rather than pool scratch.
 	workerKeys := make([]*groupTable, nw)
 	for w := range workerKeys {
 		workerKeys[w] = gs[w].accTable()
 	}
 	var out GroupResult
-	for v := 0; v < numVec; v++ {
-		w := 0
-		for i := 1; i < nw; i++ {
-			if clocks[i] < clocks[w] {
-				w = i
+	for v := 0; v < numVec; {
+		slots, nv := p.buildWave(cores, clocks, v, numVec, n, gs)
+		p.runWave(q, ImplBranching, slots)
+		// Wave barrier: reduce survivor vectors in ascending morsel order, so
+		// per-key accumulation order is the global row order — identical
+		// float association to a serial run for every worker count.
+		for si := range slots {
+			s := &slots[si]
+			if s.err != nil {
+				return GroupResult{}, s.err
 			}
+			w := s.pos
+			clocks[w] += s.cycles
+			for _, r := range s.sel {
+				gs[w].apply(acc, int(r))
+				workerKeys[w].at(gs[w].GroupCol.Int64At(int(r))).Count = 1
+			}
+			out.Qualifying += int64(len(s.sel))
+			out.Vectors++
 		}
-		eng := p.workers[w]
-		c := eng.CPU()
-		c0 := c.Cycles()
-		lo := v * p.vectorSize
-		hi := lo + p.vectorSize
-		if hi > n {
-			hi = n
-		}
-		sel, err := eng.GroupVector(q, gs[w], lo, hi)
-		if err != nil {
-			return GroupResult{}, err
-		}
-		clocks[w] += c.Cycles() - c0
-		// Reduce in global vector order (the scheduler walks v ascending), so
-		// per-key accumulation order is the global row order: identical float
-		// association to a serial run for every worker count.
-		for _, r := range sel {
-			gs[w].apply(acc, int(r))
-			workerKeys[w].at(gs[w].GroupCol.Int64At(int(r))).Count = 1
-		}
-		out.Qualifying += int64(len(sel))
-		out.Vectors++
+		v = nv
 	}
 	// Merge barrier: every core must finish scanning before core 0 folds the
 	// partial tables, so the merge starts at the scan makespan (the slowest

@@ -7,7 +7,6 @@ import (
 	"progopt/internal/exec"
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
-	"progopt/internal/tpch"
 )
 
 // Fig14 reproduces Figure 14: an expensive selection combined with a
@@ -47,7 +46,7 @@ func Fig14(cfg Config) ([]*Report, error) {
 	if cfg.Quick {
 		wins = []win{{"1T", 1}, {"L1", prof.Hierarchy.L1.SizeBytes / 8}, {"Mem", rows}}
 	}
-	d0, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: cfg.Seed})
+	d0, err := cachedDataset(rows, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +67,7 @@ func Fig14(cfg Config) ([]*Report, error) {
 	}
 
 	for _, w := range wins {
-		d := d0.ShuffleLineitemWindow(w.tuples, cfg.Seed+int64(w.tuples))
+		d := cachedShuffledDataset(d0, rows, cfg.Seed, w.tuples, cfg.Seed+int64(w.tuples))
 		r, err := newRig(prof, cfg)
 		if err != nil {
 			return nil, err
@@ -79,7 +78,7 @@ func Fig14(cfg Config) ([]*Report, error) {
 			Col: d.Lineitem.Column("l_quantity"), Op: exec.LE, I: 25,
 			ExtraCostInstr: 40, Label: "expensive-sel",
 		}
-		dateCut := tpch.QuantileInt32(d.Orders.Column("o_orderdate"), 0.5)
+		dateCut := cachedQuantileInt32(d.Orders.Column("o_orderdate"), 0.5)
 		filter := &exec.Predicate{Col: d.Orders.Column("o_orderdate"), Op: exec.LE, I: int64(dateCut)}
 		join, err := exec.NewFKJoin(r.cpu, d.Lineitem.Column("l_orderkey"), d.NumOrders, filter, "fk-orders")
 		if err != nil {
@@ -127,7 +126,7 @@ func Fig15(cfg Config) ([]*Report, error) {
 		// table would erase the random-access penalty the figure measures.
 		rows = 96 * cfg.VectorSize
 	}
-	d, err := tpch.Generate(tpch.Config{Lineitems: rows, Seed: cfg.Seed})
+	d, err := cachedDataset(rows, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +153,7 @@ func Fig15(cfg Config) ([]*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		dateCut := tpch.QuantileInt32(d.Orders.Column("o_orderdate"), sel)
+		dateCut := cachedQuantileInt32(d.Orders.Column("o_orderdate"), sel)
 		oFilter := &exec.Predicate{Col: d.Orders.Column("o_orderdate"), Op: exec.LE, I: int64(dateCut)}
 		oJoin, err := exec.NewFKJoin(r.cpu, d.Lineitem.Column("l_orderkey"), d.NumOrders, oFilter, "join-orders")
 		if err != nil {

@@ -196,7 +196,7 @@ func (h *Hierarchy) memoHit(ln, mi uint64) bool {
 		return false
 	}
 	l1, idx := h.l1, h.memoSlots[mi]
-	if l1.slots[idx].tag != ln {
+	if l1.tags[idx] != ln {
 		return false
 	}
 	l1.stats.Accesses++

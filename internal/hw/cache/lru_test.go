@@ -89,7 +89,7 @@ func TestRingLRUMatchesStampReference(t *testing.T) {
 				lvl.Insert(addr, false)
 				ref.insert(ln)
 			case 2: // touch fast path must equal n hit lookups
-				if tag := lvl.slots[lvl.lastSlot].tag; tag != 0 {
+				if tag := lvl.tags[lvl.lastSlot]; tag != 0 {
 					n := rng.Intn(3) + 1
 					if !lvl.TouchLineN(lvl.lastSlot, tag, n) {
 						t.Fatalf("start %d step %d: touch of resident line failed", startClock, i)

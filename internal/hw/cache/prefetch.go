@@ -22,9 +22,26 @@ type StreamPrefetcher struct {
 	// prefetching starts.
 	MinConfidence int
 
-	streams [streamTableSize]stream
-	clock   uint64
-	buf     []uint64
+	// The stream table is stored struct-of-arrays so the match scan — the
+	// hottest loop of join-probe simulation, paid on every L1 miss — walks one
+	// contiguous [16]uint64 of last-seen lines and nothing else. Empty entries
+	// hold invalidLine, which no reachable observation can continue, so the
+	// scan needs no validity test.
+	lastLine   [streamTableSize]uint64
+	issuedUpTo [streamTableSize]uint64
+	confidence [streamTableSize]int32
+	// prev/next thread the table entries into one circular list ordered by
+	// recency (head = most recently touched, head.prev = victim). This is the
+	// same positional-LRU construction as the cache sets: because every
+	// Observe touches exactly one entry, recency order equals the old
+	// last-use-timestamp order, and entries never touched (the empties) stay
+	// in their seeded order so victims pop in index order 0, 1, 2, ... —
+	// reproducing the old two-pass rule (first invalid entry, else least
+	// recently used with ties impossible) without a victim scan.
+	prev, next [streamTableSize]uint8
+	head       uint8
+	linked     bool
+	buf        []uint64
 	// Issued counts prefetch requests issued; each consumes an L3 access
 	// slot, which is why the paper's L3-access counter includes them.
 	Issued uint64
@@ -32,13 +49,11 @@ type StreamPrefetcher struct {
 
 const streamTableSize = 16
 
-type stream struct {
-	lastLine   uint64
-	issuedUpTo uint64
-	confidence int
-	lastUse    uint64
-	valid      bool
-}
+// invalidLine marks an empty stream-table entry. A demand line would need to
+// be within Window past it to continue the "stream", i.e. fall in
+// [1<<63 + 1, 1<<63 + Window] — beyond any address a simulated allocation can
+// produce — so empty entries can share the match scan with live ones.
+const invalidLine = uint64(1) << 63
 
 // NewStreamPrefetcher returns a prefetcher with typical streamer parameters:
 // degree 2, window 4 lines, confidence threshold 2.
@@ -46,60 +61,61 @@ func NewStreamPrefetcher() *StreamPrefetcher {
 	return &StreamPrefetcher{Degree: 2, Window: 4, MinConfidence: 2}
 }
 
+// link seeds the table: all entries empty, recency ring ordered so that the
+// victim (ring tail) cycles 0, 1, ..., 15 while empties remain. The zero
+// value of StreamPrefetcher is usable: Observe and Reset link on first use.
+func (p *StreamPrefetcher) link() {
+	for i := range p.lastLine {
+		p.lastLine[i] = invalidLine
+		// Recency order 15, 14, ..., 1, 0 from head to tail: entry 0 is the
+		// first victim, then 1, matching first-empty-in-index-order.
+		p.prev[i] = uint8((i + 1) % streamTableSize)
+		p.next[i] = uint8((i - 1 + streamTableSize) % streamTableSize)
+	}
+	p.head = streamTableSize - 1
+	p.linked = true
+}
+
 // Observe feeds one demand line id into the prefetcher and returns the line
 // ids to prefetch, if any. The returned slice aliases an internal buffer and
 // is valid until the next call.
 //
-// The table walk fuses the stream-match scan and the victim scan into one
-// pass: the first stream (in index order) whose window covers the line wins,
-// exactly as before, and when none matches the victim — the first invalid
-// entry, else the least recently used — has already been found without a
-// second walk. Random access patterns match nothing and pay this walk on
-// every L1 miss, which makes it the hottest loop of join-probe simulation.
+// The first stream (in index order) whose window covers the line wins; when
+// none matches, the least-recently-touched entry is replaced. Random access
+// patterns match nothing and pay the full 16-entry scan on every L1 miss.
 func (p *StreamPrefetcher) Observe(line uint64) []uint64 {
-	p.clock++
+	if !p.linked {
+		p.link()
+	}
 	window := uint64(p.Window)
 	bestIdx := -1
-	victim := 0
-	// oldest doubles as the victim-search state: an invalid entry locks the
-	// victim by dropping oldest to 0 (no valid entry's lastUse is 0 — the
-	// clock pre-increments), reproducing the old two-pass rule: first invalid
-	// entry, else minimum lastUse with ties to the lowest index.
-	oldest := ^uint64(0)
-	for i := range p.streams {
-		s := &p.streams[i]
-		if !s.valid {
-			if oldest != 0 {
-				victim, oldest = i, 0
-			}
-			continue
-		}
+	for i := range p.lastLine {
 		// line continues the stream when 1 <= line-lastLine <= window;
 		// unsigned wrap makes the two-sided check one compare.
-		if line-s.lastLine-1 < window {
+		if line-p.lastLine[i]-1 < window {
 			bestIdx = i
 			break
 		}
-		if s.lastUse < oldest {
-			victim, oldest = i, s.lastUse
-		}
 	}
 	if bestIdx < 0 {
-		p.streams[victim] = stream{lastLine: line, issuedUpTo: line, confidence: 0, lastUse: p.clock, valid: true}
+		victim := p.prev[p.head]
+		p.lastLine[victim] = line
+		p.issuedUpTo[victim] = line
+		p.confidence[victim] = 0
+		p.head = victim // rotate: tail becomes head, rest keep order
 		return nil
 	}
-	s := &p.streams[bestIdx]
-	s.confidence++
-	s.lastLine = line
-	s.lastUse = p.clock
-	if s.confidence < p.MinConfidence {
+	p.confidence[bestIdx]++
+	p.lastLine[bestIdx] = line
+	p.touch(uint8(bestIdx))
+	if int(p.confidence[bestIdx]) < p.MinConfidence {
 		return nil
 	}
 	// Fetch up to Degree lines ahead of the demand line, skipping anything
 	// this stream already issued.
 	from := line + 1
-	if s.issuedUpTo >= from {
-		from = s.issuedUpTo + 1
+	if p.issuedUpTo[bestIdx] >= from {
+		from = p.issuedUpTo[bestIdx] + 1
 	}
 	to := line + uint64(p.Degree)
 	if from > to {
@@ -109,16 +125,38 @@ func (p *StreamPrefetcher) Observe(line uint64) []uint64 {
 	for l := from; l <= to; l++ {
 		out = append(out, l)
 	}
-	s.issuedUpTo = to
+	p.issuedUpTo[bestIdx] = to
 	p.buf = out
 	p.Issued += uint64(len(out))
 	return out
 }
 
+// touch makes entry w the most recently used.
+func (p *StreamPrefetcher) touch(w uint8) {
+	head := p.head
+	if w == head {
+		return
+	}
+	if p.prev[head] == w {
+		// w is the ring tail: rotating the head promotes it and keeps every
+		// other relative position.
+		p.head = w
+		return
+	}
+	// Unlink w ...
+	p.next[p.prev[w]] = p.next[w]
+	p.prev[p.next[w]] = p.prev[w]
+	// ... and splice it in before head.
+	tail := p.prev[head]
+	p.prev[w] = tail
+	p.next[w] = head
+	p.next[tail] = w
+	p.prev[head] = w
+	p.head = w
+}
+
 // Reset clears all detected streams and the issue counter.
 func (p *StreamPrefetcher) Reset() {
-	for i := range p.streams {
-		p.streams[i] = stream{}
-	}
+	p.link()
 	p.Issued = 0
 }

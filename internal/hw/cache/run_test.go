@@ -42,7 +42,9 @@ func sameState(t *testing.T, label string, a, b *Hierarchy) {
 	}
 	for i, lv := range []*Level{a.l1, a.l2, a.l3} {
 		blv := []*Level{b.l1, b.l2, b.l3}[i]
-		if !reflect.DeepEqual(lv.slots, blv.slots) {
+		if !reflect.DeepEqual(lv.tags, blv.tags) || !reflect.DeepEqual(lv.ptags, blv.ptags) ||
+			!reflect.DeepEqual(lv.prev, blv.prev) || !reflect.DeepEqual(lv.next, blv.next) ||
+			!reflect.DeepEqual(lv.heads, blv.heads) {
 			t.Fatalf("%s: %s contents diverge", label, lv.cfg.Name)
 		}
 	}

@@ -37,6 +37,9 @@ type Config struct {
 	QuantumVectors int
 	// FeedbackCacheSize bounds the PMU-feedback cache (default 64 plans).
 	FeedbackCacheSize int
+	// NoFuse disables the pool's fused batch kernels (see exec.Engine.SetFuse);
+	// bit-identical either way, kept as the equivalence oracle.
+	NoFuse bool
 }
 
 // Request is one query submission.
@@ -207,6 +210,7 @@ func New(prof cpu.Profile, workers, vectorSize int, scalar bool, cfg Config) (*S
 		return nil, err
 	}
 	p.SetScalar(scalar)
+	p.SetFuse(!cfg.NoFuse)
 	if cfg.MaxActive <= 0 {
 		cfg.MaxActive = workers
 	}
@@ -229,6 +233,11 @@ func New(prof cpu.Profile, workers, vectorSize int, scalar bool, cfg Config) (*S
 
 // Workers returns the pool size.
 func (s *Server) Workers() int { return s.pool.Workers() }
+
+// Close releases the pool's host worker goroutines, if any were started
+// (multi-core hosts only; see exec.Parallel.Close). The server must be
+// drained first.
+func (s *Server) Close() { s.pool.Close() }
 
 // BindQuery binds a query's columns through the pool's address space (no-op
 // for columns an engine already bound).

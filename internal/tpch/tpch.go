@@ -12,6 +12,7 @@ package tpch
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -326,7 +327,13 @@ func permuteTable(t *columnar.Table, perm []int) *columnar.Table {
 // generated data.
 func QuantileInt32(c *columnar.Column, q float64) int32 {
 	vals := append([]int32(nil), c.I32()...)
-	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	slices.Sort(vals)
+	return QuantileSortedInt32(vals, q)
+}
+
+// QuantileSortedInt32 is QuantileInt32 over values already sorted ascending;
+// callers that probe many quantiles of one column can sort once and reuse it.
+func QuantileSortedInt32(vals []int32, q float64) int32 {
 	if len(vals) == 0 {
 		return 0
 	}

@@ -46,6 +46,12 @@ type Config struct {
 	// batch-kernel pipeline (for comparison; PMU load/branch counts and
 	// results are identical either way).
 	ScalarExec bool
+	// NoFuse disables the fused filter→join→aggregate batch kernels and runs
+	// the per-operator kernel pipeline instead — the equivalence oracle.
+	// Results, cycles, and every PMU counter are bit-identical either way;
+	// only host wall-clock differs. Ignored under ScalarExec, which is its
+	// own reference semantics.
+	NoFuse bool
 }
 
 // Engine is the public facade: one or more simulated cores plus the
@@ -80,6 +86,7 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e.SetScalar(cfg.ScalarExec)
+	e.SetFuse(!cfg.NoFuse)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 1
@@ -91,12 +98,22 @@ func New(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		par.SetScalar(cfg.ScalarExec)
+		par.SetFuse(!cfg.NoFuse)
 	}
 	return &Engine{cpu: c, eng: e, par: par, workers: workers, scalar: cfg.ScalarExec}, nil
 }
 
 // Workers returns the number of simulated cores the engine runs queries on.
 func (e *Engine) Workers() int { return e.workers }
+
+// Close releases the multi-core executor's host worker goroutines, if any
+// were started (multi-core hosts only; see exec.Parallel.Close). The engine
+// remains usable afterwards.
+func (e *Engine) Close() {
+	if e.par != nil {
+		e.par.Close()
+	}
+}
 
 // Ordering selects the physical row order of a generated TPC-H data set.
 type Ordering string

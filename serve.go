@@ -118,6 +118,7 @@ func NewServer(e *Engine, cfg ServerConfig) (*Server, error) {
 		QueueLimit:        cfg.QueueLimit,
 		QuantumVectors:    cfg.QuantumVectors,
 		FeedbackCacheSize: cfg.FeedbackCacheSize,
+		NoFuse:            !e.eng.Fused(),
 	})
 	if err != nil {
 		return nil, err
@@ -223,6 +224,11 @@ func (s *Server) SubmitAt(d *Dataset, p *Plan, opts ExecOptions, arrival uint64)
 	q.served.Store(&servedProvenance{fingerprint: fp.String(), planCacheHit: hit})
 	return &Ticket{s: s, t: tk, q: q, fp: fp, planHit: hit}, nil
 }
+
+// Close releases the host worker goroutines of the server's core pool, if
+// any were started (see exec.Parallel.Close). The server remains usable
+// afterwards.
+func (s *Server) Close() { s.svc.Close() }
 
 // serviceMode maps the public execution mode to the service's.
 func serviceMode(m Mode) service.Mode {

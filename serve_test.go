@@ -324,6 +324,7 @@ func TestExplainServedGolden(t *testing.T) {
   0: ship80                   predicate sel=0.8000  input=1.0000
   1: disc<=.05                predicate sel=0.5484  input=0.8000
   2: qty<10                   predicate sel=0.1810  input=0.4388
+  pipeline: filter+filter+filter [fused]
 served: plan-cache hit; feedback warm-start order 2-1-0; fingerprint %s
 predicted: BNT=64791 MP=33455 L3=15359 out=3904
 `, cold.Served.Fingerprint)
@@ -382,6 +383,7 @@ func TestExplainSortedServedGolden(t *testing.T) {
   1: disc<=.05                predicate sel=0.5484  input=0.8000
   2: qty<10                   predicate sel=0.1810  input=0.4388
   order by l_extendedprice desc limit 10 (bounded heap) [4 partial state(s)]
+  pipeline: filter+filter+filter [fused]
 served: plan-cache hit; feedback warm-start order 2-1-0; fingerprint %s
 predicted: BNT=64791 MP=33455 L3=15359 out=3904
 `, cold.Served.Fingerprint)

@@ -344,6 +344,52 @@ func BenchmarkRunTopK(b *testing.B) {
 	b.ReportMetric(float64(cycles), "sim_cycles")
 }
 
+// benchStored runs the Q6 scan over the stored (PCOL v2) lineitem through
+// the public facade with the given storage configuration; sim_cycles is the
+// stall-inclusive reported cycle count.
+func benchStored(b *testing.B, st *StorageConfig) {
+	e, err := New(Config{VectorSize: 1024, Storage: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := e.GenerateTPCH(200_000, 7, OrderNatural)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := e.Compile(d, Scan("lineitem").
+		Filter("l_shipdate", CmpLE, int64(d.ShipdateCutoff(0.6))).
+		Filter("l_discount", CmpGE, 0.04).
+		Filter("l_quantity", CmpLT, 24).
+		Sum("l_extendedprice * l_discount"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Exec(q, ExecOptions{Mode: ModeFixed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// BenchmarkScanStored is the stored-table hot path: the Q6 scan over the
+// PCOL v2 image with a priced block tier and zone-map skipping. Feeds the
+// BENCH_perf.json stored row (schema progopt-perf/v3).
+func BenchmarkScanStored(b *testing.B) {
+	benchStored(b, &StorageConfig{LatencyCycles: 400, BytesPerCycle: 16, SkipScan: true})
+}
+
+// BenchmarkScanCompressed adds the packed-image predicate scan: the same
+// stored Q6 with predicates priced over the compressed column images. Feeds
+// the BENCH_perf.json compressed row (schema progopt-perf/v3).
+func BenchmarkScanCompressed(b *testing.B) {
+	benchStored(b, &StorageConfig{LatencyCycles: 400, BytesPerCycle: 16, SkipScan: true, CompressedScan: true})
+}
+
 // BenchmarkRunParallel is the batch pipeline under the morsel scheduler;
 // sim_cycles is the 4-core makespan (the simulated speedup), while ns/op
 // remains host time for simulating all four cores.

@@ -1,12 +1,14 @@
 // Command progopt-perfjson converts `go test -bench` output on stdin into
 // the BENCH_perf.json artifact CI uploads per commit — the host-performance
-// trajectory of the simulator's hot paths (schema progopt-perf/v2; v2 adds
-// the BenchmarkRunTopK sort row with an unchanged field layout, see
-// DESIGN.md for the back-compat note; later additive fields: cpu, samples).
+// trajectory of the simulator's hot paths (schema progopt-perf/v3; v2 added
+// the BenchmarkRunTopK sort row, v3 adds the stored-table scan rows
+// BenchmarkScanStored and BenchmarkScanCompressed — all with an unchanged
+// field layout, see DESIGN.md for the back-compat note; later additive
+// fields: cpu, samples).
 //
 // Usage:
 //
-//	go test -run xxx -bench 'BenchmarkRun(TupleAtATime|Batch|Parallel|TopK)$' \
+//	go test -run xxx -bench 'BenchmarkRun(TupleAtATime|Batch|Parallel|TopK)$|BenchmarkScan(Stored|Compressed)$' \
 //	    -benchmem -benchtime 3x -count 3 -cpu 1,4 . \
 //	    | go run ./cmd/progopt-perfjson -out BENCH_perf.json \
 //	        [-baseline BENCH_baseline.json -max-regress 10 -summary sum.md]
@@ -42,10 +44,12 @@ import (
 )
 
 // Schema is the artifact format identifier. v2 is v1 plus the sort
-// benchmark row (BenchmarkRunTopK); the per-bench field layout is
-// unchanged, so v1 consumers can read v2 documents by ignoring the version.
-// The cpu and samples fields are additive and omitted when absent.
-const Schema = "progopt-perf/v2"
+// benchmark row (BenchmarkRunTopK); v3 is v2 plus the stored-table scan
+// rows (BenchmarkScanStored, BenchmarkScanCompressed). The per-bench field
+// layout is unchanged throughout, so older consumers can read newer
+// documents by ignoring the version. The cpu and samples fields are
+// additive and omitted when absent.
+const Schema = "progopt-perf/v3"
 
 // Bench is one benchmark result row (the median across -count repeats).
 type Bench struct {

@@ -56,6 +56,18 @@ func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A storage-backed engine executes over the stored table's decoded
+	// image: same rows and values, but the blocks it was decoded from carry
+	// the zone maps and encoded sizes the storage tier prices.
+	var stored *storedTable
+	if e.stcfg != nil {
+		st, err := e.storedLineitem(d)
+		if err != nil {
+			return nil, err
+		}
+		stored = st
+		driving = st.tab
+	}
 	if len(p.steps) == 0 {
 		return nil, fmt.Errorf("progopt: plan needs at least one operator")
 	}
@@ -70,7 +82,7 @@ func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 		case stepFilter:
 			op, err = e.compileFilter(d, driving, step)
 		case stepJoin:
-			op, err = e.compileJoin(d, step)
+			op, err = e.compileJoin(d, driving, step)
 		default:
 			err = fmt.Errorf("progopt: unknown plan step kind %d", step.kind)
 		}
@@ -112,6 +124,16 @@ func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 			return nil, err
 		}
 		out.sort = se
+	}
+	if stored != nil {
+		// Last, after every ordinary bind and reservation, so a faithful
+		// (uncompressed) storage configuration keeps the address space
+		// identical to an in-RAM engine's.
+		sq, err := e.compileStorage(stored, q)
+		if err != nil {
+			return nil, err
+		}
+		out.storage = sq
 	}
 	return out, nil
 }
@@ -209,8 +231,10 @@ func (e *Engine) compileFilter(d *Dataset, driving *columnar.Table, step planSte
 }
 
 // compileJoin resolves one join step into a bound foreign-key join with a
-// build-side filter of the requested selectivity.
-func (e *Engine) compileJoin(d *Dataset, step planStep) (exec.Op, error) {
+// build-side filter of the requested selectivity. Probe keys come from the
+// driving table (which may be the stored decoded image); build-side columns
+// always live in RAM.
+func (e *Engine) compileJoin(d *Dataset, driving *columnar.Table, step planStep) (exec.Op, error) {
 	if step.filterSel <= 0 || step.filterSel > 1 {
 		return nil, fmt.Errorf("progopt: join filter selectivity %v outside (0,1]", step.filterSel)
 	}
@@ -222,14 +246,14 @@ func (e *Engine) compileJoin(d *Dataset, step planStep) (exec.Op, error) {
 		}
 		cut := tpch.QuantileInt32(d.d.Orders.Column("o_orderdate"), step.filterSel)
 		filter := &exec.Predicate{Col: d.d.Orders.Column("o_orderdate"), Op: exec.LE, I: int64(cut)}
-		return exec.NewFKJoin(e.cpu, d.d.Lineitem.Column("l_orderkey"), d.d.NumOrders, filter, label)
+		return exec.NewFKJoin(e.cpu, driving.Column("l_orderkey"), d.d.NumOrders, filter, label)
 	case "part":
 		if label == "" {
 			label = "join-part"
 		}
 		cut := int64(50 * step.filterSel)
 		filter := &exec.Predicate{Col: d.d.Part.Column("p_size"), Op: exec.LE, I: cut}
-		return exec.NewFKJoin(e.cpu, d.d.Lineitem.Column("l_partkey"), d.d.NumParts, filter, label)
+		return exec.NewFKJoin(e.cpu, driving.Column("l_partkey"), d.d.NumParts, filter, label)
 	default:
 		return nil, fmt.Errorf("progopt: unknown build table %q", step.build)
 	}

@@ -81,6 +81,29 @@
 // (equivalence_test.go). cmd/progopt-serve drives seeded workload traces
 // and emits the BENCH_serve.json artifact.
 //
+// # Stored tables
+//
+// Config.Storage puts the driving table on simulated persistent storage:
+// the data set encodes into the PCOL v2 block format (dictionary and
+// frame-of-reference compression, per-block zone maps) and a storage tier
+// below DRAM prices block-granularity transfers under an LRU resident-set
+// budget:
+//
+//	eng, err := progopt.New(progopt.Config{Storage: &progopt.StorageConfig{
+//		LatencyCycles: 400, BytesPerCycle: 16,
+//		ResidentBytes: 1 << 20, SkipScan: true, CompressedScan: true,
+//	}})
+//
+// The tier is a pure observer: a stored run's rows, aggregates, morsel
+// schedule, and every PMU counter are bit-identical to the in-RAM engine's,
+// and only reported Cycles grows by the tier's stall debt. SkipScan answers
+// vectors that zone maps prove empty from metadata alone; CompressedScan
+// prices predicate scans over the packed column images, moving fewer
+// simulated bytes without changing any answer. ExecResult.Storage reports
+// block pruning and tier activity; Explain renders the same provenance.
+// cmd/tpchgen writes both file formats (-format v1|v2 -compress), and the
+// version-dispatching loader reads either.
+//
 // See the examples/ directory for runnable programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology and per-figure results.
 package progopt

@@ -57,6 +57,14 @@ type PlanExplain struct {
 	// runs unfused): the operator chain collapsed into single-pass batch
 	// kernels, e.g. "filter+join+agg [fused]".
 	Pipeline string
+	// Storage describes the stored-scan provenance ("" for in-RAM plans):
+	// compression ratio, zone-map pruning, and enabled scan capabilities.
+	// StorageBlocksTotal/StorageBlocksPruned/StorageVectorsSkipped expose
+	// the pruning facts it renders.
+	Storage               string
+	StorageBlocksTotal    int
+	StorageBlocksPruned   int
+	StorageVectorsSkipped int
 	// Provenance describes how a workload server most recently obtained
 	// this query — plan-cache hit or fresh compile, feedback warm start or
 	// cold start, and the plan fingerprint ("" when the query has never
@@ -99,6 +107,9 @@ func (p PlanExplain) String() string {
 	if p.Pipeline != "" {
 		fmt.Fprintf(&b, "  pipeline: %s\n", p.Pipeline)
 	}
+	if p.Storage != "" {
+		fmt.Fprintf(&b, "  storage: %s\n", p.Storage)
+	}
 	if p.Provenance != "" {
 		fmt.Fprintf(&b, "served: %s\n", p.Provenance)
 	}
@@ -128,6 +139,32 @@ func fusedPipelineDesc(q *Query) string {
 		parts = append(parts, "agg")
 	}
 	return strings.Join(parts, "+") + " [fused]"
+}
+
+// storageDesc renders the stored-scan provenance line: the v2 image's
+// compression, how many blocks the zone maps pruned against the compiled
+// predicate bounds, and which scan capabilities the configuration enables.
+func storageDesc(s *storedQuery) string {
+	cfg := s.plan.Config()
+	var b strings.Builder
+	fmt.Fprintf(&b, "pcol v2 (%d blocks x %d rows, %d -> %d bytes)",
+		s.plan.BlocksTotal(), s.plan.Enc.BlockRows(), s.plan.Enc.PlainBytes(), s.plan.Enc.EncodedBytes())
+	if cfg.SkipScan {
+		fmt.Fprintf(&b, "; zone maps prune %d/%d blocks (%d vectors skipped)",
+			s.plan.BlocksPruned(), s.plan.BlocksTotal(), s.plan.VectorsSkipped())
+	} else {
+		b.WriteString("; zone maps off")
+	}
+	if cfg.CompressedScan {
+		b.WriteString("; compressed scan")
+	}
+	fmt.Fprintf(&b, "; tier %d cyc + %d B/cyc", cfg.LatencyCycles, max(cfg.BytesPerCycle, 1))
+	if cfg.ResidentBytes > 0 {
+		fmt.Fprintf(&b, ", %d B resident budget", cfg.ResidentBytes)
+	} else {
+		b.WriteString(", unbounded resident set")
+	}
+	return b.String()
 }
 
 // fmtOrder renders an operator permutation as "2-0-1".
@@ -210,6 +247,12 @@ func (e *Engine) Explain(q *Query) (PlanExplain, error) {
 	}
 	if !e.scalar && e.eng.Fused() {
 		out.Pipeline = fusedPipelineDesc(q)
+	}
+	if s := q.storage; s != nil {
+		out.StorageBlocksTotal = s.plan.BlocksTotal()
+		out.StorageBlocksPruned = s.plan.BlocksPruned()
+		out.StorageVectorsSkipped = s.plan.VectorsSkipped()
+		out.Storage = storageDesc(s)
 	}
 	prof := e.cpu.Profile()
 	params := peo.Params{

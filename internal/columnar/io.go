@@ -99,23 +99,14 @@ func writeColumn(w io.Writer, c *Column) error {
 	return nil
 }
 
-// ReadTable parses a table from r.
+// ReadTable parses a table from r. It accepts both format versions (it is
+// LoadTable under the original name).
 func ReadTable(r io.Reader) (*Table, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("columnar: reading magic: %w", err)
-	}
-	if string(magic) != formatMagic {
-		return nil, fmt.Errorf("columnar: bad magic %q", magic)
-	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, err
-	}
-	if version != formatVersion {
-		return nil, fmt.Errorf("columnar: unsupported format version %d", version)
-	}
+	return LoadTable(r)
+}
+
+// readV1Body parses the v1 stream after the magic/version header.
+func readV1Body(br io.Reader) (*Table, error) {
 	name, err := readString(br)
 	if err != nil {
 		return nil, err
@@ -174,14 +165,14 @@ func readColumn(r io.Reader) (*Column, error) {
 	n := int(rows)
 	switch Kind(kind) {
 	case Int64:
-		data := make([]int64, n)
-		if err := readU64Slice(r, data); err != nil {
+		data, err := readI64s(r, n)
+		if err != nil {
 			return nil, err
 		}
 		return NewInt64(name, data), nil
 	case Float64:
-		raw := make([]int64, n)
-		if err := readU64Slice(r, raw); err != nil {
+		raw, err := readI64s(r, n)
+		if err != nil {
 			return nil, err
 		}
 		data := make([]float64, n)
@@ -190,13 +181,9 @@ func readColumn(r io.Reader) (*Column, error) {
 		}
 		return NewFloat64(name, data), nil
 	case Int32, Date:
-		data := make([]int32, n)
-		buf := make([]byte, 4)
-		for i := range data {
-			if _, err := io.ReadFull(r, buf); err != nil {
-				return nil, err
-			}
-			data[i] = int32(binary.LittleEndian.Uint32(buf))
+		data, err := readI32s(r, n)
+		if err != nil {
+			return nil, err
 		}
 		if Kind(kind) == Date {
 			return NewDate(name, data), nil
@@ -207,13 +194,62 @@ func readColumn(r io.Reader) (*Column, error) {
 	}
 }
 
-func readU64Slice(r io.Reader, dst []int64) error {
-	buf := make([]byte, 8)
-	for i := range dst {
-		if _, err := io.ReadFull(r, buf); err != nil {
-			return err
+// readChunkBytes values are decoded per ReadFull call by the chunked payload
+// readers, so memory growth tracks bytes actually present in the stream — a
+// corrupt header declaring a billion rows over a ten-byte payload fails
+// after one small read instead of allocating the full declared size first.
+const readChunkBytes = 64 << 10
+
+// readI64s reads n little-endian 8-byte values, growing the result as the
+// stream delivers them.
+func readI64s(r io.Reader, n int) ([]int64, error) {
+	out := make([]int64, 0, minInt(n, readChunkBytes/8))
+	buf := make([]byte, minInt(n*8, readChunkBytes))
+	for len(out) < n {
+		chunk := minInt(n-len(out), readChunkBytes/8)
+		if _, err := io.ReadFull(r, buf[:chunk*8]); err != nil {
+			return nil, err
 		}
-		dst[i] = int64(binary.LittleEndian.Uint64(buf))
+		for i := 0; i < chunk; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
 	}
-	return nil
+	return out, nil
+}
+
+// readI32s reads n little-endian 4-byte values, growing as delivered.
+func readI32s(r io.Reader, n int) ([]int32, error) {
+	out := make([]int32, 0, minInt(n, readChunkBytes/4))
+	buf := make([]byte, minInt(n*4, readChunkBytes))
+	for len(out) < n {
+		chunk := minInt(n-len(out), readChunkBytes/4)
+		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < chunk; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+	}
+	return out, nil
+}
+
+// readBytes reads exactly n bytes, growing as delivered.
+func readBytes(r io.Reader, n int) ([]byte, error) {
+	out := make([]byte, 0, minInt(n, readChunkBytes))
+	for len(out) < n {
+		chunk := minInt(n-len(out), readChunkBytes)
+		start := len(out)
+		out = append(out, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -39,6 +39,9 @@ func (e *Engine) RunVectorBranchFree(q *Query, lo, hi int) (VectorResult, error)
 			return VectorResult{}, fmt.Errorf("exec: branch-free scan requires predicates only; op %d is %T", i, op)
 		}
 	}
+	if e.skipVector(lo, hi) {
+		return VectorResult{}, nil
+	}
 	if !e.scalar {
 		return e.runVectorBranchFreeBatch(q, lo, hi)
 	}

@@ -128,6 +128,10 @@ type Engine struct {
 	// run and detach it afterwards; the engine itself holds no sort state
 	// across runs.
 	sortRun *SortRun
+	// stor, when non-nil, is the attached storage-scan plan: zone-map skip
+	// verdicts per vector plus this core's private storage-tier view (see
+	// storage.go). Same lifecycle as sortRun.
+	stor *StorageScan
 }
 
 // NewEngine returns an engine with the given vector size (tuples per vector).
@@ -211,6 +215,9 @@ func (e *Engine) RunVector(q *Query, lo, hi int) (VectorResult, error) {
 	if err := e.checkVector(q, lo, hi); err != nil {
 		return VectorResult{}, err
 	}
+	if e.skipVector(lo, hi) {
+		return VectorResult{}, nil
+	}
 	if e.scalar {
 		return e.runVectorScalar(q, lo, hi), nil
 	}
@@ -223,6 +230,9 @@ func (e *Engine) RunVectorScalar(q *Query, lo, hi int) (VectorResult, error) {
 	if err := e.checkVector(q, lo, hi); err != nil {
 		return VectorResult{}, err
 	}
+	if e.skipVector(lo, hi) {
+		return VectorResult{}, nil
+	}
 	return e.runVectorScalar(q, lo, hi), nil
 }
 
@@ -231,6 +241,9 @@ func (e *Engine) RunVectorScalar(q *Query, lo, hi int) (VectorResult, error) {
 func (e *Engine) RunVectorBatch(q *Query, lo, hi int) (VectorResult, error) {
 	if err := e.checkVector(q, lo, hi); err != nil {
 		return VectorResult{}, err
+	}
+	if e.skipVector(lo, hi) {
+		return VectorResult{}, nil
 	}
 	return e.runVectorBatch(q, lo, hi)
 }

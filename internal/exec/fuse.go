@@ -60,8 +60,7 @@ func (p *Predicate) evalBatchFused(c *cpu.CPU, site int, sel, out []int32) []int
 	if p.ExtraCostInstr > 0 {
 		c.Exec(p.ExtraCostInstr * len(sel))
 	}
-	base := p.Col.Base()
-	w := uint64(p.Col.Width())
+	base, w := p.scanLayout()
 	switch p.Col.Kind() {
 	case columnar.Float64:
 		return predLoopRLE(c, site, sel, out, p.Col.F64(), base, w, p.Op, p.F)

@@ -130,6 +130,9 @@ func (e *Engine) GroupVector(q *Query, g *GroupBy, lo, hi int) ([]int32, error) 
 	if err := e.checkVector(q, lo, hi); err != nil {
 		return nil, err
 	}
+	if e.skipVector(lo, hi) {
+		return nil, nil
+	}
 	c := e.cpu
 	ops := q.Ops
 	loopSite := len(ops)

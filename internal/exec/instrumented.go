@@ -47,6 +47,9 @@ func (e *Engine) RunVectorInstrumented(q *Query, lo, hi int, oc *OpCounts) (Vect
 	if lo < 0 || hi > n || lo > hi {
 		return VectorResult{}, fmt.Errorf("exec: vector [%d,%d) outside table of %d rows", lo, hi, n)
 	}
+	if e.skipVector(lo, hi) {
+		return VectorResult{}, nil
+	}
 	c := e.cpu
 	ops := q.Ops
 	loopSite := len(ops)

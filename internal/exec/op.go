@@ -92,6 +92,26 @@ type Predicate struct {
 	ExtraCostInstr int
 	// Label overrides the generated name.
 	Label string
+	// ScanBase/ScanWidth, when ScanWidth > 0, redirect the predicate's load
+	// simulation to a packed (encoded) image of the column at ScanBase with
+	// ScanWidth bytes per row — the compressed-scan mode of a stored table,
+	// where the kernel compares against dictionary codes or
+	// frame-of-reference deltas and therefore streams the narrower image
+	// through the cache hierarchy. Host-side comparisons stay on the decoded
+	// slices (the encodings are order- and equality-exact per block, so
+	// outcomes are identical); only the simulated address stream changes.
+	ScanBase  uint64
+	ScanWidth int
+}
+
+// scanLayout returns the (base, width) the predicate's loads stream through
+// the simulated hierarchy: the packed image when compressed scanning is
+// configured, the decoded column otherwise.
+func (p *Predicate) scanLayout() (uint64, uint64) {
+	if p.ScanWidth > 0 {
+		return p.ScanBase, uint64(p.ScanWidth)
+	}
+	return p.Col.Base(), uint64(p.Col.Width())
 }
 
 // Name implements Op.
@@ -114,7 +134,8 @@ func (p *Predicate) Width() int { return p.Col.Width() }
 // column's kind and the comparison through a small inlinable helper — this
 // runs once per (row, operator) in the scalar engine.
 func (p *Predicate) Eval(c *cpu.CPU, row int) bool {
-	c.Load(p.Col.Addr(row))
+	base, w := p.scanLayout()
+	c.Load(base + uint64(row)*w)
 	if p.ExtraCostInstr > 0 {
 		c.Exec(p.ExtraCostInstr)
 	}
@@ -153,8 +174,7 @@ func (p *Predicate) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
 	if p.ExtraCostInstr > 0 {
 		c.Exec(p.ExtraCostInstr * len(sel))
 	}
-	base := p.Col.Base()
-	w := uint64(p.Col.Width())
+	base, w := p.scanLayout()
 	switch p.Col.Kind() {
 	case columnar.Float64:
 		return predLoop(c, site, sel, out, p.Col.F64(), base, w, p.Op, p.F)
@@ -262,8 +282,7 @@ func (p *Predicate) evalMask(c *cpu.CPU, lo, hi int, mask []bool) {
 	if p.ExtraCostInstr > 0 {
 		c.Exec(p.ExtraCostInstr * n)
 	}
-	base := p.Col.Base()
-	w := uint64(p.Col.Width())
+	base, w := p.scanLayout()
 	// The whole vector is loaded unconditionally: one run-batched stream.
 	c.LoadSeq(base+uint64(lo)*w, int(w), n)
 	switch p.Col.Kind() {

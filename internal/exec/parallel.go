@@ -252,6 +252,17 @@ func minVectorCycles(n, issueWidth int) uint64 {
 // wave (a barrier); each core therefore carries at most one morsel per wave.
 func (p *Parallel) buildWave(cores []int, clocks []uint64, v, vecHi, nRows int, gs []*GroupBy) ([]waveSlot, int) {
 	iw := p.workers[0].CPU().Profile().IssueWidth
+	// A zone-map-skipped vector (see StorageScan) answers from metadata in
+	// zero simulated cycles, so its guaranteed minimum duration is zero:
+	// minEnd collapses to the entry clock, no later candidate can certify
+	// against it (clocks are >= the argmin's), and the wave ends right after
+	// the skipped member — the serial argmin schedule is replayed exactly.
+	// The skip bitmap is shared across the run's cores; the subset's first
+	// core carries it like every other.
+	var skip []bool
+	if st := p.workers[cores[0]].stor; st != nil {
+		skip = st.Skip
+	}
 	slots := p.waveSlots[:0]
 	if cap(p.waveBusy) < len(cores) {
 		p.waveBusy = make([]bool, len(cores))
@@ -285,9 +296,13 @@ func (p *Parallel) buildWave(cores []int, clocks []uint64, v, vecHi, nRows int, 
 		if hi > nRows {
 			hi = nRows
 		}
+		minVC := minVectorCycles(hi-lo, iw)
+		if v < len(skip) && skip[v] {
+			minVC = 0
+		}
 		slot := waveSlot{
 			pos: i, core: cores[i], v: v, lo: lo, hi: hi,
-			minEnd: clocks[i] + minVectorCycles(hi-lo, iw),
+			minEnd: clocks[i] + minVC,
 		}
 		if gs != nil {
 			slot.group = gs[cores[i]]

@@ -160,6 +160,7 @@ func All() []Experiment {
 		{"ext-groupby", "Extension: morsel-driven grouped aggregation", ExtGroupBy},
 		{"ext-serve", "Extension: workload service — concurrency, latency, feedback cache", ExtServe},
 		{"ext-topk", "Extension: morsel-parallel Top-K/OrderBy operator", ExtTopK},
+		{"ext-storage", "Extension: stored PCOL v2 tables — budget sweep, compression, packed scans", ExtStorage},
 	}
 }
 

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"progopt/internal/columnar"
+	"progopt/internal/exec"
+	"progopt/internal/hw/cpu"
+	"progopt/internal/hw/pmu"
+	"progopt/internal/storage"
+	"progopt/internal/tpch"
+)
+
+// ExtStorage measures the stored-table subsystem: a selective Q6-shaped scan
+// over the PCOL v2 lineitem image with the below-DRAM block tier priced in.
+// Three questions, three tables:
+//
+//   - How does cold-scan time grow as the resident-set budget shrinks below
+//     the scan's working set, with and without zone-map skipping?
+//   - How much does the format compress each column, and how many blocks do
+//     zone maps prune for a selective predicate over sorted data?
+//   - How many fewer simulated bytes does the compressed (packed-image)
+//     predicate scan move through the memory hierarchy?
+//
+// Every cell re-runs the identical plan from a cold tier; answers are
+// verified equal across all configurations, and the zone-map run must prune
+// at least half the blocks (the data is shipdate-sorted and the predicate
+// keeps ~10%).
+func ExtStorage(cfg Config) ([]*Report, error) {
+	cfg = cfg.withDefaults()
+	rows := 64 * cfg.VectorSize
+	if cfg.Quick {
+		rows = 24 * cfg.VectorSize
+	}
+	blockRows := 4 * cfg.VectorSize
+
+	d, err := cachedDataset(rows, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	d = d.ReorderLineitem(tpch.OrderingShipdateSorted, cfg.Seed+1)
+	cut := cachedQuantileInt32(d.Lineitem.Column("l_shipdate"), 0.10)
+	enc, err := cachedEncodedLineitem(d, fmt.Sprintf("r%d-s%d-sorted", rows, cfg.Seed), blockRows)
+	if err != nil {
+		return nil, err
+	}
+
+	// The scan's per-vector working set: the current block of each touched
+	// column (three predicate columns plus the aggregate's second input).
+	ws := 0
+	for _, name := range []string{"l_shipdate", "l_quantity", "l_discount", "l_extendedprice"} {
+		ws += enc.Column(name).BlockEncodedBytes(0)
+	}
+	budgets := []uint64{0, uint64(ws), uint64(ws) / 2, uint64(ws) / 4}
+	if cfg.Quick {
+		budgets = []uint64{0, uint64(ws) / 2, uint64(ws) / 4}
+	}
+
+	sweep := &Report{
+		ID:      "ext-storage",
+		Title:   "Extension: stored PCOL v2 scan — resident-set budget v. cold-scan time, zone maps on/off",
+		Columns: []string{"budget_kb", "kcyc_full", "kcyc_zonemap", "fetched_full_kb", "fetched_zonemap_kb", "evictions_full"},
+		Notes: []string{
+			fmt.Sprintf("%d lineitems shipdate-sorted, %d-row blocks; shipdate<=p10 + discount>=0.05 + quantity<24, sum(price*disc)", rows, blockRows),
+			fmt.Sprintf("tier: 400 cyc/block + 8 B/cyc; scan working set ~%d KB (current block of 4 touched columns)", ws/1024),
+			"budget 0 = unbounded; budgets below the working set thrash: blocks evict mid-scan and re-fetch next vector",
+			"zone maps answer pruned vectors from metadata, so tight budgets hurt the full scan far more",
+		},
+	}
+
+	var refQ int64
+	var refSum float64
+	var prunedInfo *storage.Plan
+	var cycFullTight, cycFullUnbounded uint64
+	for bi, budget := range budgets {
+		row := []string{fmt.Sprintf("%d", budget/1024)}
+		if budget == 0 {
+			row[0] = "unbounded"
+		}
+		var cells [2]storedCell
+		for si, skip := range []bool{false, true} {
+			scfg := storage.Config{LatencyCycles: 400, BytesPerCycle: 8, ResidentBytes: budget, SkipScan: skip}
+			cell, err := runStored(cfg, enc, d, cut, scfg)
+			if err != nil {
+				return nil, err
+			}
+			if bi == 0 && !skip {
+				refQ, refSum = cell.res.Qualifying, cell.res.Sum
+			} else if cell.res.Qualifying != refQ || cell.res.Sum != refSum {
+				return nil, fmt.Errorf("experiments: stored scan answer diverges at budget=%d skip=%v", budget, skip)
+			}
+			if skip && prunedInfo == nil {
+				prunedInfo = cell.plan
+				if cell.plan.BlocksPruned()*2 < cell.plan.BlocksTotal() {
+					return nil, fmt.Errorf("experiments: zone maps pruned %d/%d blocks, expected at least half",
+						cell.plan.BlocksPruned(), cell.plan.BlocksTotal())
+				}
+			}
+			cells[si] = cell
+		}
+		if budget == 0 {
+			cycFullUnbounded = cells[0].cycles
+		}
+		cycFullTight = cells[0].cycles
+		row = append(row,
+			fmt.Sprintf("%d", cells[0].cycles/1000), fmt.Sprintf("%d", cells[1].cycles/1000),
+			fmt.Sprintf("%d", cells[0].cnt.BytesFetched/1024),
+			fmt.Sprintf("%d", cells[1].cnt.BytesFetched/1024),
+			fmt.Sprintf("%d", cells[0].cnt.Evictions))
+		sweep.Rows = append(sweep.Rows, row)
+	}
+	if cycFullTight <= cycFullUnbounded {
+		return nil, fmt.Errorf("experiments: tightest budget (%d cycles) not slower than unbounded (%d)",
+			cycFullTight, cycFullUnbounded)
+	}
+	sweep.Notes = append(sweep.Notes, fmt.Sprintf("zone maps pruned %d/%d blocks (%d vectors skipped)",
+		prunedInfo.BlocksPruned(), prunedInfo.BlocksTotal(), prunedInfo.VectorsSkipped()))
+
+	compress := &Report{
+		ID:      "ext-storage",
+		Title:   "Extension: PCOL v2 per-column compression",
+		Columns: []string{"column", "encoding", "plain_kb", "encoded_kb", "ratio"},
+		Notes:   []string{"frame-of-reference bit-packs narrow ranges; dictionary encodes low-cardinality columns"},
+	}
+	for _, ec := range enc.Columns() {
+		compress.Rows = append(compress.Rows, []string{
+			ec.Name(), ec.Encoding().String(),
+			fmt.Sprintf("%d", ec.PlainBytes()/1024),
+			fmt.Sprintf("%d", ec.EncodedBytes()/1024),
+			fmt.Sprintf("%.2f", float64(ec.PlainBytes())/float64(ec.EncodedBytes())),
+		})
+	}
+	compress.Rows = append(compress.Rows, []string{
+		"total", "-",
+		fmt.Sprintf("%d", enc.PlainBytes()/1024),
+		fmt.Sprintf("%d", enc.EncodedBytes()/1024),
+		fmt.Sprintf("%.2f", float64(enc.PlainBytes())/float64(enc.EncodedBytes())),
+	})
+
+	// Compressed predicate scans: identical answers, fewer lines through the
+	// simulated memory system.
+	packed := &Report{
+		ID:      "ext-storage",
+		Title:   "Extension: predicate scans over packed images v. decoded values",
+		Columns: []string{"scan", "ms", "mem_lines", "qualifying"},
+		Notes:   []string{"mem_lines = cache lines fetched from simulated DRAM (PMU mem_access)"},
+	}
+	var memPlain, memPacked uint64
+	for _, compressed := range []bool{false, true} {
+		scfg := storage.Config{LatencyCycles: 400, BytesPerCycle: 8, CompressedScan: compressed}
+		cell, err := runStored(cfg, enc, d, cut, scfg)
+		if err != nil {
+			return nil, err
+		}
+		if cell.res.Qualifying != refQ || cell.res.Sum != refSum {
+			return nil, fmt.Errorf("experiments: compressed-scan answer diverges")
+		}
+		label := "decoded"
+		if compressed {
+			label = "packed"
+			memPacked = cell.res.Counters.Get(pmu.MemAccess)
+		} else {
+			memPlain = cell.res.Counters.Get(pmu.MemAccess)
+		}
+		packed.Rows = append(packed.Rows, []string{
+			label, fmtMs(cell.ms),
+			fmt.Sprintf("%d", cell.res.Counters.Get(pmu.MemAccess)),
+			fmt.Sprintf("%d", cell.res.Qualifying),
+		})
+	}
+	if memPacked >= memPlain {
+		return nil, fmt.Errorf("experiments: packed scan moved %d lines, decoded %d — expected fewer", memPacked, memPlain)
+	}
+
+	return []*Report{sweep, compress, packed}, nil
+}
+
+// storedCell is one measured stored-scan configuration.
+type storedCell struct {
+	res exec.Result
+	// cycles is the run's stall-inclusive cycle count; ms the same on the
+	// rig's clock.
+	cycles uint64
+	ms     float64
+	plan   *storage.Plan
+	cnt    cacheCounters
+}
+
+// cacheCounters mirrors the tier counters the reports print.
+type cacheCounters struct {
+	BytesFetched, Evictions, StallCycles uint64
+}
+
+// runStored executes the selective Q6-shaped scan over the stored table
+// under one tier configuration, from a cold tier, on a fresh serial rig.
+// Reported time includes the tier's stall debt (serial: exactly the run's
+// stall cycles).
+func runStored(cfg Config, enc *columnar.EncodedTable, d *tpch.Dataset, cut int32, scfg storage.Config) (storedCell, error) {
+	tab, err := enc.Decode()
+	if err != nil {
+		return storedCell{}, err
+	}
+	price := tab.Column("l_extendedprice")
+	disc := tab.Column("l_discount")
+	q := &exec.Query{
+		Table: tab,
+		Ops: []exec.Op{
+			&exec.Predicate{Col: tab.Column("l_shipdate"), Op: exec.LE, I: int64(cut), Label: "shipdate<=p10"},
+			&exec.Predicate{Col: disc, Op: exec.GE, F: 0.05, Label: "discount>=0.05"},
+			&exec.Predicate{Col: tab.Column("l_quantity"), Op: exec.LT, I: 24, Label: "quantity<24"},
+		},
+		Agg: &exec.Aggregate{
+			Cols: []*columnar.Column{price, disc},
+			F:    func(r int) float64 { return price.F64()[r] * disc.F64()[r] },
+		},
+	}
+	r, err := newRig(cpu.ScaledXeon(), cfg)
+	if err != nil {
+		return storedCell{}, err
+	}
+	if err := r.bind(q); err != nil {
+		return storedCell{}, err
+	}
+	plan, err := storage.Compile(enc, tab, q, cfg.VectorSize, scfg)
+	if err != nil {
+		return storedCell{}, err
+	}
+	if scfg.CompressedScan {
+		plan.Packed = make(map[string]storage.PackedImage, len(enc.Columns()))
+		for _, ec := range enc.Columns() {
+			w := ec.PackedWidthBytes()
+			base, err := r.cpu.Alloc(ec.Rows() * w)
+			if err != nil {
+				return storedCell{}, err
+			}
+			plan.Packed[ec.Name()] = storage.PackedImage{Base: base, Width: w}
+		}
+		for _, op := range q.Ops {
+			if p, ok := op.(*exec.Predicate); ok {
+				if img, ok := plan.Packed[p.Col.Name()]; ok {
+					p.ScanBase, p.ScanWidth = img.Base, img.Width
+				}
+			}
+		}
+	}
+	set, err := plan.NewSet()
+	if err != nil {
+		return storedCell{}, err
+	}
+	r.eng.SetStorage(&exec.StorageScan{Skip: plan.Skip, Set: set})
+	defer r.eng.SetStorage(nil)
+	r.cold()
+	res, err := r.eng.Run(q)
+	if err != nil {
+		return storedCell{}, err
+	}
+	c := set.Counters()
+	cycles := res.Cycles + c.StallCycles
+	return storedCell{
+		res:    res,
+		cycles: cycles,
+		ms:     r.millis(cycles),
+		plan:   plan,
+		cnt:    cacheCounters{BytesFetched: c.BytesFetched, Evictions: c.Evictions, StallCycles: c.StallCycles},
+	}, nil
+}

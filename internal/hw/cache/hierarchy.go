@@ -128,6 +128,14 @@ type Hierarchy struct {
 	// counter, clock, and MRU-stamp effects.
 	memoLines [memoEntries]uint64
 	memoSlots [memoEntries]int
+	// st, when attached, is a storage tier below DRAM: every access that
+	// reaches memory consults it and may pay additional whole-cycle block
+	// stalls, accumulated in storageStalls. The tier never alters cache
+	// contents or any counter above, so attaching it leaves the PMU event
+	// stream bit-identical. storageStalls is monotonic across ResetCounters
+	// (like the CPU's own stall clock); cores snapshot and subtract.
+	st            *StorageSet
+	storageStalls uint64
 }
 
 // memoEntries sizes the direct-mapped line memo (power of two, comfortably
@@ -225,6 +233,9 @@ func (h *Hierarchy) loadLine(ln uint64) AccessResult {
 			pln := pl + 1
 			if !h.l3.ContainsLine(pln) {
 				h.memAccesses++
+				if h.st != nil {
+					h.storageStalls += h.st.Touch((pln - 1) << h.lineShift)
+				}
 				h.l3.insertLineAbsent(pln)
 				h.l3.stats.PrefetchInserts++
 			}
@@ -243,6 +254,9 @@ func (h *Hierarchy) loadLine(ln uint64) AccessResult {
 		return AccessResult{Level: HitL3, LatencyCycles: h.cfg.L3.LatencyCycles}
 	}
 	h.memAccesses++
+	if h.st != nil {
+		h.storageStalls += h.st.Touch((ln - 1) << h.lineShift)
+	}
 	h.l3.insertLineAbsent(ln)
 	h.l2.insertLineAbsent(ln)
 	h.l1.insertLineAbsent(ln)
@@ -391,6 +405,19 @@ func (h *Hierarchy) Flush() {
 	h.lastLine = 0
 	h.memoLines = [memoEntries]uint64{}
 }
+
+// AttachStorage installs (or, with nil, removes) a storage tier below DRAM.
+// The tier observes every access that reaches memory and charges block-fetch
+// stalls; it has no effect on cache contents or counters.
+func (h *Hierarchy) AttachStorage(st *StorageSet) { h.st = st }
+
+// Storage returns the attached storage tier, or nil.
+func (h *Hierarchy) Storage() *StorageSet { return h.st }
+
+// StorageStallCycles returns the cumulative stall cycles charged by the
+// storage tier. Monotonic: not cleared by ResetCounters, so it composes with
+// the CPU's cycle clock the way stallQuarters does.
+func (h *Hierarchy) StorageStallCycles() uint64 { return h.storageStalls }
 
 // ResetCounters zeroes all event counts; cache contents are preserved.
 func (h *Hierarchy) ResetCounters() {

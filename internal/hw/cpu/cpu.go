@@ -280,7 +280,11 @@ func (c *CPU) ResetPredictor() { c.pred.Reset() }
 func (c *CPU) FlushCaches() { c.mem.Flush() }
 
 // Cycles returns elapsed core cycles: retired instructions spread over the
-// issue width plus accumulated stall time.
+// issue width plus accumulated stall time. Whole-cycle stalls charged by an
+// attached storage tier are NOT included: the tier is a pure observer whose
+// stall debt is read out-of-band (cache.StorageSet.Counters) and added to
+// reported run times by the driver, so attaching a tier perturbs neither
+// scheduling decisions nor any simulated observable.
 func (c *CPU) Cycles() uint64 {
 	issueQuarters := c.instructions * 4 / uint64(c.prof.IssueWidth)
 	return (issueQuarters + c.stallQuarters) / 4

@@ -57,6 +57,13 @@ type Request struct {
 	// the first core of the final subset merges them at completion. Ordered
 	// queries schedule like plain scans in every mode.
 	Sorts []*exec.Sort
+	// Storage, when non-nil, runs the query over a stored table: one
+	// stored-scan state per pool core (shared skip bitmap, private tier
+	// view), attached to every core a segment runs on. The tier is a pure
+	// observer — it changes no simulated observable of this or any
+	// co-scheduled query; its stall debt accumulates in the views' counters
+	// for the caller to read out-of-band.
+	Storage []*exec.StorageScan
 	// Mode selects fixed, progressive, or micro-adaptive execution.
 	Mode Mode
 	// Opt configures the progressive optimizer for adaptive modes.
@@ -312,6 +319,9 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	}
 	if len(req.Sorts) > 0 && len(req.Sorts) != s.pool.Workers() {
 		return nil, fmt.Errorf("service: %d partial sort states for a %d-core pool", len(req.Sorts), s.pool.Workers())
+	}
+	if len(req.Storage) > 0 && len(req.Storage) != s.pool.Workers() {
+		return nil, fmt.Errorf("service: %d stored-scan states for a %d-core pool", len(req.Storage), s.pool.Workers())
 	}
 	s.stats.Submitted++
 	if s.cfg.QueueLimit > 0 && len(s.queue) >= s.cfg.QueueLimit {
@@ -593,6 +603,20 @@ func (s *Server) segmentLocked(q *query) error {
 		defer func() {
 			for _, w := range q.cores {
 				engines[w].SetSortRun(nil)
+			}
+		}()
+	}
+	// A stored query's tier views ride along the same way: attached to the
+	// segment's cores, detached before the partitioner can hand those cores
+	// to a different query.
+	if q.req.Storage != nil {
+		engines := s.pool.Engines()
+		for _, w := range q.cores {
+			engines[w].SetStorage(q.req.Storage[w])
+		}
+		defer func() {
+			for _, w := range q.cores {
+				engines[w].SetStorage(nil)
 			}
 		}()
 	}

@@ -2,8 +2,10 @@ package progopt
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"progopt/internal/columnar"
 	"progopt/internal/core"
 	"progopt/internal/exec"
 	"progopt/internal/hw/branch"
@@ -52,6 +54,10 @@ type Config struct {
 	// only host wall-clock differs. Ignored under ScalarExec, which is its
 	// own reference semantics.
 	NoFuse bool
+	// Storage, when non-nil, executes queries over the stored (PCOL v2)
+	// image of the driving table, priced through a simulated storage tier
+	// below DRAM. See StorageConfig.
+	Storage *StorageConfig
 }
 
 // Engine is the public facade: one or more simulated cores plus the
@@ -63,6 +69,10 @@ type Engine struct {
 	par     *exec.Parallel
 	workers int
 	scalar  bool
+	// stcfg is the engine's storage configuration, nil for in-RAM engines;
+	// stored caches each data set's stored driving table by generation.
+	stcfg  *StorageConfig
+	stored map[uint64]*storedTable
 }
 
 // New builds an Engine.
@@ -100,7 +110,13 @@ func New(cfg Config) (*Engine, error) {
 		par.SetScalar(cfg.ScalarExec)
 		par.SetFuse(!cfg.NoFuse)
 	}
-	return &Engine{cpu: c, eng: e, par: par, workers: workers, scalar: cfg.ScalarExec}, nil
+	stcfg := cfg.Storage
+	if stcfg != nil {
+		// Copy so later caller mutation cannot skew compiled plans.
+		cp := *stcfg
+		stcfg = &cp
+	}
+	return &Engine{cpu: c, eng: e, par: par, workers: workers, scalar: cfg.ScalarExec, stcfg: stcfg}, nil
 }
 
 // Workers returns the number of simulated cores the engine runs queries on.
@@ -138,6 +154,10 @@ type Dataset struct {
 	// a fresh value, and plan fingerprints include it, so a workload
 	// server's caches never serve a plan compiled against different data.
 	gen uint64
+	// encMu guards encCache, the per-block-size PCOL v2 encodings of the
+	// lineitem table shared by storage-backed engines and experiments.
+	encMu    sync.Mutex
+	encCache map[int]*columnar.EncodedTable
 }
 
 // datasetGen issues data-set generation numbers.
@@ -192,6 +212,10 @@ type Query struct {
 	// been served. Reported by Explain. Atomic because the plan cache
 	// shares compiled queries across concurrently-waited submissions.
 	served atomic.Pointer[servedProvenance]
+	// storage is the compiled stored-scan state, nil when the engine reads
+	// from RAM. Zone-map pruning is order-independent, so reordered queries
+	// share it.
+	storage *storedQuery
 }
 
 // NumOps returns the number of reorderable operators.
@@ -207,7 +231,7 @@ func (q *Query) WithOrder(perm []int) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{q: qo, group: q.group, sort: q.sort, sumExpr: q.sumExpr}, nil
+	return &Query{q: qo, group: q.group, sort: q.sort, sumExpr: q.sumExpr, storage: q.storage}, nil
 }
 
 // BuildQ6 builds TPC-H Query 6 (five reorderable predicates) over the data

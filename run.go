@@ -5,6 +5,7 @@ import (
 
 	"progopt/internal/core"
 	"progopt/internal/exec"
+	"progopt/internal/hw/cache"
 	"progopt/internal/hw/pmu"
 )
 
@@ -88,6 +89,9 @@ type ExecResult struct {
 	// timestamps, cache hits, warm starts) when the result came from
 	// Ticket.Wait; nil for direct Exec calls.
 	Served *ServedInfo
+	// Storage reports the stored scan — block pruning and tier activity —
+	// when the engine executes over storage; nil for in-RAM engines.
+	Storage *StorageStats
 }
 
 // Exec executes a compiled query from a cold hardware state. It is the
@@ -109,16 +113,45 @@ func (e *Engine) Exec(q *Query, opts ExecOptions) (ExecResult, error) {
 	default:
 		return ExecResult{}, fmt.Errorf("progopt: unknown execution mode %d", int(opts.Mode))
 	}
-	if q.group != nil {
-		if opts.Mode != ModeFixed {
-			return ExecResult{}, fmt.Errorf("progopt: %s execution of grouped plans is not supported yet; use ModeFixed", opts.Mode)
+	if q.group != nil && opts.Mode != ModeFixed {
+		return ExecResult{}, fmt.Errorf("progopt: %s execution of grouped plans is not supported yet; use ModeFixed", opts.Mode)
+	}
+	// A stored query runs with the storage tier attached to every core —
+	// residency dropped first (every Exec is a cold scan), counters
+	// snapshotted for the post-run delta.
+	var before []cache.StorageCounters
+	if q.storage != nil {
+		b, err := e.attachStorage(q.storage)
+		if err != nil {
+			return ExecResult{}, err
 		}
-		return e.execGrouped(q)
+		before = b
+		defer e.detachStorage()
 	}
-	if q.sort != nil {
-		return e.execSorted(q, opts)
+	var out ExecResult
+	var err error
+	switch {
+	case q.group != nil:
+		out, err = e.execGrouped(q)
+	case q.sort != nil:
+		out, err = e.execSorted(q, opts)
+	default:
+		out, err = e.execScan(q, opts)
 	}
-	return e.execScan(q, opts)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	if q.storage != nil {
+		// The tier is an observer: the run's schedule, results, and PMU
+		// counters are exactly the in-RAM engine's. Its stall debt extends
+		// the reported time — the slowest core's stalls on a parallel run,
+		// the run's whole stall delta on a serial one.
+		stats, maxStall := storageStats(q.storage.plan, q.storage.views, before)
+		out.Storage = stats
+		out.Cycles += maxStall
+		out.Millis = e.cpu.MillisOf(out.Cycles)
+	}
+	return out, nil
 }
 
 // execScan runs an unordered plan in the requested mode.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"progopt/internal/exec"
 	"progopt/internal/service"
 )
 
@@ -139,6 +140,10 @@ type Ticket struct {
 	q       *Query
 	fp      service.Fingerprint
 	planHit bool
+	// stviews are this submission's private tier views (fresh residency per
+	// submission, so plan-cache sharing never shares residency); nil for
+	// in-RAM engines.
+	stviews []*exec.StorageScan
 }
 
 // Query returns the compiled query the server executes for this submission
@@ -215,6 +220,14 @@ func (s *Server) SubmitAt(d *Dataset, p *Plan, opts ExecOptions, arrival uint64)
 	if q.sort != nil {
 		req.Sorts = q.sort.states
 	}
+	var stviews []*exec.StorageScan
+	if q.storage != nil {
+		stviews, err = q.storage.freshViews()
+		if err != nil {
+			return nil, err
+		}
+		req.Storage = stviews
+	}
 	tk, err := s.svc.Submit(req)
 	if err != nil {
 		return nil, err
@@ -222,7 +235,7 @@ func (s *Server) SubmitAt(d *Dataset, p *Plan, opts ExecOptions, arrival uint64)
 	// Warm-start provenance is decided when the admission controller
 	// activates the query; Wait refreshes it.
 	q.served.Store(&servedProvenance{fingerprint: fp.String(), planCacheHit: hit})
-	return &Ticket{s: s, t: tk, q: q, fp: fp, planHit: hit}, nil
+	return &Ticket{s: s, t: tk, q: q, fp: fp, planHit: hit, stviews: stviews}, nil
 }
 
 // Close releases the host worker goroutines of the server's core pool, if
@@ -274,6 +287,15 @@ func (t *Ticket) Wait() (ExecResult, error) {
 		BranchingVectors:  o.Stats.BranchingVectors,
 		BranchFreeVectors: o.Stats.BranchFreeVectors,
 		ImplSwitches:      o.Stats.ImplSwitches,
+	}
+	if t.stviews != nil {
+		// Same out-of-band accounting as Engine.Exec: the tier observes, its
+		// stall debt extends the query's reported execution span (not the
+		// server's discrete-event clock, which schedules on compute time).
+		stats, maxStall := storageStats(t.q.storage.plan, t.stviews, nil)
+		out.Storage = stats
+		out.Cycles += maxStall
+		out.Millis = t.s.e.cpu.MillisOf(out.Cycles)
 	}
 	lat := o.Done - o.Arrival
 	out.Served = &ServedInfo{

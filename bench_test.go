@@ -20,6 +20,7 @@ import (
 	"progopt/internal/experiments"
 	"progopt/internal/hw/cpu"
 	"progopt/internal/tpch"
+	"progopt/internal/trace"
 )
 
 // benchCfg is the reduced-but-not-quick scale used by the figure benches.
@@ -408,6 +409,41 @@ func BenchmarkRunParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// BenchmarkRunParallelTraced is BenchmarkRunParallel with the event recorder
+// attached: same simulated work (sim_cycles must match BenchmarkRunParallel
+// exactly — tracing is a pure observer), plus the host-side cost of recording
+// every morsel span. The recorder is reset per iteration so the track buffers
+// stay warm and the bench measures steady-state recording, not growth. Feeds
+// the BENCH_perf.json traced row (schema progopt-perf/v4).
+func BenchmarkRunParallelTraced(b *testing.B) {
+	q := benchQ6(b, 200_000)
+	p, err := exec.NewParallel(cpu.ScaledXeon(), 4, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := trace.New()
+	tracks := make([]*trace.Track, 4)
+	for i := range tracks {
+		tracks[i] = rec.NewTrack(fmt.Sprintf("core %d", i))
+	}
+	p.SetTrace(tracks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		res, err := p.Run(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	if rec.Events() == 0 {
+		b.Fatal("traced run recorded no events")
 	}
 	b.ReportMetric(float64(cycles), "sim_cycles")
 }

@@ -1,14 +1,14 @@
 // Command progopt-perfjson converts `go test -bench` output on stdin into
 // the BENCH_perf.json artifact CI uploads per commit — the host-performance
-// trajectory of the simulator's hot paths (schema progopt-perf/v3; v2 added
-// the BenchmarkRunTopK sort row, v3 adds the stored-table scan rows
-// BenchmarkScanStored and BenchmarkScanCompressed — all with an unchanged
-// field layout, see DESIGN.md for the back-compat note; later additive
-// fields: cpu, samples).
+// trajectory of the simulator's hot paths (schema progopt-perf/v4; v2 added
+// the BenchmarkRunTopK sort row, v3 added the stored-table scan rows
+// BenchmarkScanStored and BenchmarkScanCompressed, v4 adds the traced-run
+// row BenchmarkRunParallelTraced — all with an unchanged field layout, see
+// DESIGN.md for the back-compat note; later additive fields: cpu, samples).
 //
 // Usage:
 //
-//	go test -run xxx -bench 'BenchmarkRun(TupleAtATime|Batch|Parallel|TopK)$|BenchmarkScan(Stored|Compressed)$' \
+//	go test -run xxx -bench 'BenchmarkRun(TupleAtATime|Batch|Parallel|ParallelTraced|TopK)$|BenchmarkScan(Stored|Compressed)$' \
 //	    -benchmem -benchtime 3x -count 3 -cpu 1,4 . \
 //	    | go run ./cmd/progopt-perfjson -out BENCH_perf.json \
 //	        [-baseline BENCH_baseline.json -max-regress 10 -summary sum.md]
@@ -45,11 +45,13 @@ import (
 
 // Schema is the artifact format identifier. v2 is v1 plus the sort
 // benchmark row (BenchmarkRunTopK); v3 is v2 plus the stored-table scan
-// rows (BenchmarkScanStored, BenchmarkScanCompressed). The per-bench field
+// rows (BenchmarkScanStored, BenchmarkScanCompressed); v4 is v3 plus the
+// traced-run row (BenchmarkRunParallelTraced, whose sim_cycles must equal
+// BenchmarkRunParallel's — tracing is a pure observer). The per-bench field
 // layout is unchanged throughout, so older consumers can read newer
 // documents by ignoring the version. The cpu and samples fields are
 // additive and omitted when absent.
-const Schema = "progopt-perf/v3"
+const Schema = "progopt-perf/v4"
 
 // Bench is one benchmark result row (the median across -count repeats).
 type Bench struct {

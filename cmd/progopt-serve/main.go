@@ -14,6 +14,8 @@
 //	progopt-serve -queries 64 -workers 8  # bigger trace
 //	progopt-serve -quick -bench BENCH_serve.json
 //	progopt-serve -quick -cold            # feedback cache disabled
+//	progopt-serve -quick -trace out.json  # Chrome/Perfetto trace of the run
+//	progopt-serve -quick -metrics out.prom  # Prometheus text exposition
 package main
 
 import (
@@ -107,6 +109,8 @@ func main() {
 		cold      = flag.Bool("cold", false, "disable the PMU-feedback cache")
 		quick     = flag.Bool("quick", false, "small preset: 4 workers, 512-tuple vectors, 12 queries")
 		benchPath = flag.String("bench", "", "write the machine-readable benchmark artifact to this path")
+		trcPath   = flag.String("trace", "", "write a Chrome trace-event JSON of the workload to this path")
+		metPath   = flag.String("metrics", "", "write the Prometheus text exposition to this path ('-' = stdout)")
 		verbose   = flag.Bool("v", false, "print the per-query table")
 	)
 	flag.Parse()
@@ -121,7 +125,8 @@ func main() {
 	}
 
 	if err := run(*queries, *templates, *workers, *vector, *lineitems, *seed,
-		*maxActive, *gap, *mode, *interval, *planCache, *cold, *benchPath, *verbose); err != nil {
+		*maxActive, *gap, *mode, *interval, *planCache, *cold, *benchPath,
+		*trcPath, *metPath, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -129,7 +134,7 @@ func main() {
 
 func run(queries, templates, workers, vector, lineitems int, seed int64,
 	maxActive, gap int, modeName string, interval, planCacheSize int,
-	cold bool, benchPath string, verbose bool) error {
+	cold bool, benchPath, trcPath, metPath string, verbose bool) error {
 
 	if queries < 1 {
 		return fmt.Errorf("progopt-serve: -queries must be at least 1, got %d", queries)
@@ -152,7 +157,11 @@ func run(queries, templates, workers, vector, lineitems int, seed int64,
 		maxActive = workers // the server's own default, resolved here so the bench artifact records the effective cap
 	}
 
-	eng, err := progopt.New(progopt.Config{VectorSize: vector, Workers: workers})
+	cfg := progopt.Config{VectorSize: vector, Workers: workers}
+	if trcPath != "" {
+		cfg.Trace = &progopt.TraceOptions{}
+	}
+	eng, err := progopt.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -289,6 +298,30 @@ func run(queries, templates, workers, vector, lineitems int, seed int64,
 			return err
 		}
 		fmt.Printf("bench artifact: %s\n", benchPath)
+	}
+	if trcPath != "" {
+		tr := eng.Trace()
+		if err := tr.WriteChromeFile(trcPath); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s\n", tr.NumEvents(), trcPath)
+	}
+	if metPath != "" {
+		if metPath == "-" {
+			return srv.WriteMetrics(os.Stdout)
+		}
+		f, err := os.Create(metPath)
+		if err != nil {
+			return err
+		}
+		if err := srv.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %s\n", metPath)
 	}
 	return nil
 }

@@ -1,0 +1,128 @@
+// Command progopt-tracecheck validates a Chrome trace-event JSON file as
+// produced by the progopt tracing layer (-trace on cmd/progopt and
+// cmd/progopt-serve, or Trace.WriteChrome). CI runs it on the traced smoke
+// artifacts so a malformed exporter fails the build rather than silently
+// producing a file Perfetto rejects.
+//
+// Checks: well-formed JSON with a traceEvents array; every event carries a
+// name, a known phase (X span, i instant, M metadata), and integer pid/tid;
+// spans have non-negative ts and dur; instants are thread-scoped; every
+// event's track has exactly one thread_name metadata record; and the file
+// holds at least -min-events non-metadata events.
+//
+// Usage:
+//
+//	progopt-tracecheck trace.json
+//	progopt-tracecheck -min-events 100 -require reorder trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name  string          `json:"name"`
+	Ph    string          `json:"ph"`
+	Ts    *float64        `json:"ts"`
+	Dur   *float64        `json:"dur"`
+	Pid   *int64          `json:"pid"`
+	Tid   *int64          `json:"tid"`
+	Scope string          `json:"s"`
+	Args  json.RawMessage `json:"args"`
+}
+
+func main() {
+	var (
+		minEvents = flag.Int("min-events", 1, "fail unless at least this many non-metadata events")
+		require   = flag.String("require", "", "fail unless at least one event has this name (e.g. 'reorder')")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: progopt-tracecheck [-min-events N] [-require NAME] trace.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *minEvents, *require); err != nil {
+		fmt.Fprintf(os.Stderr, "progopt-tracecheck: %s: %v\n", flag.Arg(0), err)
+		os.Exit(1)
+	}
+}
+
+func check(path string, minEvents int, require string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		return fmt.Errorf("displayTimeUnit = %q, want \"ns\" (1 trace ns = 1 simulated cycle)", doc.DisplayTimeUnit)
+	}
+	tracks := map[int64]string{} // tid -> thread name
+	events, spans, instants := 0, 0, 0
+	requireSeen := false
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d: empty name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("event %d (%q): missing pid/tid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				return fmt.Errorf("event %d: unexpected metadata record %q", i, ev.Name)
+			}
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &args); err != nil || args.Name == "" {
+				return fmt.Errorf("event %d: thread_name without args.name", i)
+			}
+			if prev, dup := tracks[*ev.Tid]; dup {
+				return fmt.Errorf("event %d: tid %d named twice (%q, %q)", i, *ev.Tid, prev, args.Name)
+			}
+			tracks[*ev.Tid] = args.Name
+			continue
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("event %d (%q): span without non-negative dur", i, ev.Name)
+			}
+			spans++
+		case "i":
+			if ev.Scope != "t" {
+				return fmt.Errorf("event %d (%q): instant scope = %q, want \"t\"", i, ev.Name, ev.Scope)
+			}
+			instants++
+		default:
+			return fmt.Errorf("event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			return fmt.Errorf("event %d (%q): missing or negative ts", i, ev.Name)
+		}
+		if _, ok := tracks[*ev.Tid]; !ok {
+			return fmt.Errorf("event %d (%q): tid %d has no thread_name metadata", i, ev.Name, *ev.Tid)
+		}
+		if ev.Name == require {
+			requireSeen = true
+		}
+		events++
+	}
+	if events < minEvents {
+		return fmt.Errorf("%d events, want at least %d", events, minEvents)
+	}
+	if require != "" && !requireSeen {
+		return fmt.Errorf("no event named %q", require)
+	}
+	fmt.Printf("%s: ok — %d tracks, %d spans, %d instants\n", path, len(tracks), spans, instants)
+	return nil
+}

@@ -5,6 +5,7 @@
 //	progopt -fig fig11            # one figure, full scale
 //	progopt -fig all -quick       # every figure, reduced scale
 //	progopt -fig fig14 -csv       # CSV instead of the ASCII table
+//	progopt -fig fig14 -trace out.json  # also record a Chrome/Perfetto trace
 //	progopt -list                 # list experiment ids
 package main
 
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"progopt/internal/experiments"
+	"progopt/internal/trace"
 )
 
 func main() {
@@ -27,6 +29,7 @@ func main() {
 		perms   = flag.Int("perms", 0, "cap on PEO permutations in sweeps (0 = experiment default)")
 		workers = flag.Int("workers", 1, "simulated cores per measurement (morsel-driven when > 1)")
 		scalar  = flag.Bool("scalar", false, "tuple-at-a-time row loop instead of batch kernels")
+		trc     = flag.String("trace", "", "write a Chrome trace-event JSON of every measurement to this path")
 	)
 	flag.Parse()
 
@@ -44,6 +47,9 @@ func main() {
 		PermSample: *perms,
 		Workers:    *workers,
 		ScalarExec: *scalar,
+	}
+	if *trc != "" {
+		cfg.Trace = trace.New()
 	}
 
 	var exps []experiments.Experiment
@@ -72,5 +78,24 @@ func main() {
 				fmt.Println(r.String())
 			}
 		}
+	}
+
+	if *trc != "" {
+		f, err := os.Create(*trc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := cfg.Trace.WriteChrome(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events on %d tracks -> %s\n",
+			cfg.Trace.Events(), cfg.Trace.NumTracks(), *trc)
 	}
 }

@@ -104,6 +104,42 @@
 // cmd/tpchgen writes both file formats (-format v1|v2 -compress), and the
 // version-dispatching loader reads either.
 //
+// # Tracing and metrics
+//
+// Config.Trace attaches a deterministic event recorder keyed entirely on
+// the simulated clock: per-operator and per-vector spans, morsel spans,
+// the reoptimizer's decision log (sample/reorder/revert/impl-switch
+// instants carrying their PMU evidence), storage-tier fetch/evict
+// instants, and the workload server's admission events. Tracing is a pure
+// observer — a traced run's results, cycles, and every PMU counter are
+// bit-identical to the untraced run — and identical configurations
+// produce byte-identical trace files on every host:
+//
+//	eng, err := progopt.New(progopt.Config{Trace: &progopt.TraceOptions{}})
+//	if err != nil { ... }
+//	ds, err := eng.GenerateTPCH(100_000, 42, progopt.OrderRandom)
+//	q, err := eng.Compile(ds, progopt.Scan("lineitem").
+//		Filter("l_shipdate", progopt.CmpLE, int64(ds.ShipdateCutoff(0.5))).
+//		Filter("l_discount", progopt.CmpGE, 0.05).
+//		Sum("l_extendedprice * l_discount"))
+//	res, err := eng.Exec(q, progopt.ExecOptions{
+//		Mode:        progopt.ModeProgressive,
+//		Progressive: progopt.Progressive{Interval: 10},
+//	})
+//	err = eng.Trace().WriteChromeFile("trace.json") // load in Perfetto
+//	pe, err := eng.Explain(q)                       // includes a trace: span summary
+//
+// One trace nanosecond equals one simulated cycle, with one named track
+// per simulated core plus optimizer and service tracks. Servers
+// additionally expose a simulated-time metrics registry in Prometheus
+// text format — queries served, plan/feedback cache hit rates,
+// p50/p95/p99 simulated latency, storage-tier residency — via
+// Server.WriteMetrics. Per-sample PMU series are retained on
+// Stats.Samples (a bounded ring), one source of truth shared by the
+// trace, the metrics, and the ext-trace convergence figure. The -trace
+// flag on cmd/progopt and cmd/progopt-serve records whole figure runs and
+// served workloads; cmd/progopt-tracecheck validates the artifacts.
+//
 // See the examples/ directory for runnable programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology and per-figure results.
 package progopt

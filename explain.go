@@ -70,6 +70,10 @@ type PlanExplain struct {
 	// cold start, and the plan fingerprint ("" when the query has never
 	// been served).
 	Provenance string
+	// Trace summarizes the spans and decision events of this query's most
+	// recent traced execution, in first-appearance order (nil when the query
+	// never ran on an engine with Config.Trace set).
+	Trace []TraceAgg
 	// Ops describes the operators in evaluation order.
 	Ops []OpExplain
 	// PredictedBNT, PredictedMP, PredictedL3 are the §3 model's counter
@@ -112,6 +116,17 @@ func (p PlanExplain) String() string {
 	}
 	if p.Provenance != "" {
 		fmt.Fprintf(&b, "served: %s\n", p.Provenance)
+	}
+	if len(p.Trace) > 0 {
+		b.WriteString("trace:")
+		for _, a := range p.Trace {
+			if a.Cycles > 0 {
+				fmt.Fprintf(&b, " %s x%d (%d cyc);", a.Name, a.Count, a.Cycles)
+			} else {
+				fmt.Fprintf(&b, " %s x%d;", a.Name, a.Count)
+			}
+		}
+		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "predicted: BNT=%.0f MP=%.0f L3=%.0f out=%.0f\n",
 		p.PredictedBNT, p.PredictedMP, p.PredictedL3, p.PredictedQualifying)
@@ -212,6 +227,9 @@ func (e *Engine) Explain(q *Query) (PlanExplain, error) {
 			out.Limit = q.sort.limit
 			out.LimitSet = true
 		}
+	}
+	if ta := q.traced.Load(); ta != nil {
+		out.Trace = *ta
 	}
 	if sp := q.served.Load(); sp != nil {
 		src := "compiled (plan-cache miss)"

@@ -4,6 +4,7 @@ import (
 	cachemodel "progopt/internal/costmodel/cache"
 	"progopt/internal/costmodel/markov"
 	"progopt/internal/exec"
+	"progopt/internal/trace"
 )
 
 // ImplCostParams parameterize the branching-vs-branch-free decision.
@@ -185,6 +186,9 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 				c.Exec(opt.ReorderCostInstr)
 				st.Reverts++
 				st.ConvergedAtCycles = c.Cycles() - startCycles
+				traceDecision(opt.Trace, "revert", c.Cycles(), delta,
+					trace.A("to", curPerm),
+					trace.A("vec_cycles", vecCycles), trace.A("limit", limit))
 			}
 		}
 
@@ -209,6 +213,14 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 			st.EstimatorEvaluations += est.NMEvaluations
 			st.LastEstimate = est.Sels
 			c.Exec(est.NMEvaluations * opt.NMEvalCostInstr)
+			smp := Sample{
+				Cycles:   c.Cycles() - startCycles,
+				Tuples:   hi - lo,
+				Counters: delta.Project(paperGroup),
+				Sels:     est.Sels,
+			}
+			st.addSample(smp)
+			traceSample(opt.Trace, c.Cycles(), smp)
 
 			order := AscendingOrder(est.Sels)
 			newPerm := compose(curPerm, order)
@@ -226,6 +238,9 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 				st.Reorders++
 				pendingValidation = true
 				st.ConvergedAtCycles = c.Cycles() - startCycles
+				traceDecision(opt.Trace, "reorder", c.Cycles(), smp.Counters,
+					trace.A("from", prevPerm), trace.A("to", curPerm),
+					trace.A("est_sels", est.Sels))
 			}
 			if eligible {
 				ordered := make([]float64, len(est.Sels))
@@ -241,6 +256,9 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 					}
 					c.Exec(opt.ReorderCostInstr)
 					st.ConvergedAtCycles = c.Cycles() - startCycles
+					traceDecision(opt.Trace, "impl-switch", c.Cycles(), smp.Counters,
+						trace.A("impl", implName(impl)),
+						trace.A("est_sels", ordered))
 				}
 			}
 		} else if runOpt && impl == exec.ImplBranchFree {
@@ -257,6 +275,9 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 					c.ResetPredictor()
 				}
 				c.Exec(opt.ReorderCostInstr)
+				traceDecision(opt.Trace, "impl-switch", c.Cycles(), delta,
+					trace.A("impl", implName(impl)),
+					trace.A("resample", true))
 			}
 		}
 		prevVecCycles = vecCycles
@@ -267,5 +288,19 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 	out.Counters = c.Sample().Sub(start)
 	st.Vectors = out.Vectors
 	st.FinalOrder = curPerm
+	if opt.Trace != nil {
+		opt.Trace.Instant("plan-final", c.Cycles(),
+			trace.A("order", curPerm), trace.A("reorders", st.Reorders),
+			trace.A("impl", implName(impl)),
+			trace.A("converged_at", st.ConvergedAtCycles))
+	}
 	return out, st, nil
+}
+
+// implName renders a scan implementation for trace args.
+func implName(impl exec.ScanImpl) string {
+	if impl == exec.ImplBranchFree {
+		return "branch-free"
+	}
+	return "branching"
 }

@@ -99,6 +99,7 @@ func runParallelAdaptive(p *exec.Parallel, q *exec.Query, opt Options, micro boo
 		totalCycles += extra
 	}
 
+	s.TraceFinal()
 	out.Cycles = totalCycles
 	out.Millis = w0.MillisOf(totalCycles)
 	var merged pmu.Sample

@@ -7,6 +7,7 @@ import (
 	"progopt/internal/costmodel/markov"
 	"progopt/internal/exec"
 	"progopt/internal/hw/pmu"
+	"progopt/internal/trace"
 )
 
 // Options configure the progressive optimization driver (§4.4, Figure 10).
@@ -49,6 +50,12 @@ type Options struct {
 	// running a different PEO measures the truth, and validation keeps the
 	// probe order only if it is genuinely faster. Zero disables probing.
 	ExploreEvery int
+	// Trace, when non-nil, receives the optimizer's decision events (samples,
+	// reorders, reverts, exploration probes, implementation switches) with
+	// the PMU evidence that triggered them. Recording is a pure observer: it
+	// charges no simulated work, so traced and untraced runs are
+	// bit-identical.
+	Trace *trace.Track
 }
 
 func (o *Options) setDefaults() {
@@ -95,6 +102,11 @@ type Stats struct {
 	// Zero means the initial order was never changed — the signature of a
 	// feedback-cache warm start that began at the converged order.
 	ConvergedAtCycles uint64
+	// Samples is the per-cycle observation series (bounded; see Sample): the
+	// PMU evidence and selectivity estimate of every optimization cycle, in
+	// order. The trace's optimizer track and the ext-* figures render the
+	// same series.
+	Samples []Sample
 }
 
 // RunProgressive executes the query vector-at-a-time with progressive
@@ -175,6 +187,9 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 				c.Exec(opt.ReorderCostInstr)
 				st.Reverts++
 				st.ConvergedAtCycles = c.Cycles() - startCycles
+				traceDecision(opt.Trace, "revert", c.Cycles(), delta,
+					trace.A("to", curPerm),
+					trace.A("vec_cycles", vecCycles), trace.A("limit", limit))
 			}
 		}
 
@@ -200,6 +215,8 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 			c.Exec(opt.ReorderCostInstr)
 			pendingValidation = true
 			st.ConvergedAtCycles = c.Cycles() - startCycles
+			traceDecision(opt.Trace, "explore", c.Cycles(), delta,
+				trace.A("from", prevPerm), trace.A("to", curPerm))
 			prevVecCycles = vecCycles
 			continue
 		}
@@ -221,6 +238,14 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 			st.EstimatorEvaluations += est.NMEvaluations
 			st.LastEstimate = est.Sels
 			c.Exec(est.NMEvaluations * opt.NMEvalCostInstr)
+			smp := Sample{
+				Cycles:   c.Cycles() - startCycles,
+				Tuples:   hi - lo,
+				Counters: delta.Project(paperGroup),
+				Sels:     est.Sels,
+			}
+			st.addSample(smp)
+			traceSample(opt.Trace, c.Cycles(), smp)
 			order := AscendingOrder(est.Sels)
 			newPerm := compose(curPerm, order)
 			if !equalPerm(newPerm, curPerm) {
@@ -238,6 +263,9 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 				st.Reorders++
 				pendingValidation = true
 				st.ConvergedAtCycles = c.Cycles() - startCycles
+				traceDecision(opt.Trace, "reorder", c.Cycles(), smp.Counters,
+					trace.A("from", prevPerm), trace.A("to", curPerm),
+					trace.A("est_sels", est.Sels))
 			} else {
 				stableCycles++
 			}
@@ -250,6 +278,11 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 	out.Counters = c.Sample().Sub(start)
 	st.Vectors = out.Vectors
 	st.FinalOrder = curPerm
+	if opt.Trace != nil {
+		opt.Trace.Instant("plan-final", c.Cycles(),
+			trace.A("order", curPerm), trace.A("reorders", st.Reorders),
+			trace.A("converged_at", st.ConvergedAtCycles))
+	}
 	return out, st, nil
 }
 

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"progopt/internal/hw/pmu"
+	"progopt/internal/trace"
+)
+
+// Sample is one progressive-sampling observation: the PMU evidence an
+// optimization cycle saw and the selectivity estimate it produced. The
+// drivers retain a bounded series of these on Stats, so end-state statistics,
+// the trace's optimizer track, and the ext-* figures all share one source of
+// truth for the convergence timeline.
+type Sample struct {
+	// Cycles is the sampling clock relative to the run's start: the serial
+	// drivers' core clock, or the accounted block clock of the parallel and
+	// service drivers (comparable to the reported makespan).
+	Cycles uint64
+	// Tuples is how many tuples the sampled PMU delta covers.
+	Tuples int
+	// Counters is the interval's PMU delta projected to the paper's
+	// four-counter group (plus the fixed counters).
+	Counters pmu.Sample
+	// Sels is the selectivity estimate in current-order space, nil when the
+	// cycle did not estimate (e.g. an exploration probe).
+	Sels []float64
+}
+
+// maxSampleHistory bounds Stats.Samples: the ring keeps the most recent
+// observations and drops the oldest, so a long-running query cannot grow its
+// stats without bound while short runs (every figure in the repo) retain the
+// complete series.
+const maxSampleHistory = 512
+
+func (st *Stats) addSample(s Sample) {
+	if len(st.Samples) >= maxSampleHistory {
+		copy(st.Samples, st.Samples[1:])
+		st.Samples = st.Samples[:maxSampleHistory-1]
+	}
+	st.Samples = append(st.Samples, s)
+}
+
+var paperGroup = pmu.PaperGroup()
+
+// pmuArgs renders the paper-group counters of one sampled delta as trace
+// args — the evidence attached to sampling and decision events.
+func pmuArgs(s pmu.Sample) []trace.Arg {
+	return []trace.Arg{
+		trace.A("br_not_taken", s.Get(pmu.BrNotTaken)),
+		trace.A("br_mp_taken", s.Get(pmu.BrMPTaken)),
+		trace.A("br_mp_not_taken", s.Get(pmu.BrMPNotTaken)),
+		trace.A("l3_access", s.Get(pmu.L3Access)),
+	}
+}
+
+// traceSample emits one sampling observation on the optimizer decision track
+// (at is the absolute clock of the sampling core, aligning the instant with
+// that core's execution spans).
+func traceSample(tr *trace.Track, at uint64, s Sample) {
+	if tr == nil {
+		return
+	}
+	args := append([]trace.Arg{trace.A("tuples", s.Tuples)}, pmuArgs(s.Counters)...)
+	args = append(args, trace.A("est_sels", s.Sels))
+	tr.Instant("sample", at, args...)
+}
+
+// traceDecision emits a plan-change event (reorder, revert, explore,
+// impl-switch) with the counter evidence that triggered it.
+func traceDecision(tr *trace.Track, name string, at uint64, evidence pmu.Sample, extra ...trace.Arg) {
+	if tr == nil {
+		return
+	}
+	tr.Instant(name, at, append(extra, pmuArgs(evidence)...)...)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"progopt/internal/exec"
 	"progopt/internal/hw/cpu"
+	"progopt/internal/trace"
 )
 
 // BlockStepper holds the between-block coordination state of block-granular
@@ -150,6 +151,10 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 			extra += recompileEngines(engines, s.opt)
 			s.st.Reverts++
 			changed = true
+			traceDecision(s.opt.Trace, "revert", s.accounted+extra, br.Counters,
+				trace.A("to", s.curPerm),
+				trace.A("cost_per_vec", costPerVec),
+				trace.A("prev_cost_per_vec", s.prevCostPerVec))
 		}
 	}
 
@@ -175,6 +180,14 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 		s.st.LastEstimate = est.Sels
 		coord.Exec(est.NMEvaluations * s.opt.NMEvalCostInstr)
 		extra += coord.Cycles() - c0
+		smp := Sample{
+			Cycles:   s.accounted + extra,
+			Tuples:   tuples,
+			Counters: br.Counters.Project(paperGroup),
+			Sels:     est.Sels,
+		}
+		s.st.addSample(smp)
+		traceSample(s.opt.Trace, s.accounted+extra, smp)
 
 		order := AscendingOrder(est.Sels)
 		newPerm := compose(s.curPerm, order)
@@ -190,6 +203,9 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 			s.st.Reorders++
 			s.pendingValidation = true
 			changed = true
+			traceDecision(s.opt.Trace, "reorder", s.accounted+extra, smp.Counters,
+				trace.A("from", s.prevPerm), trace.A("to", s.curPerm),
+				trace.A("est_sels", est.Sels))
 		}
 		if s.eligible {
 			ordered := make([]float64, len(est.Sels))
@@ -202,6 +218,9 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 				s.impl = next
 				extra += recompileEngines(engines, s.opt)
 				changed = true
+				traceDecision(s.opt.Trace, "impl-switch", s.accounted+extra, smp.Counters,
+					trace.A("impl", implName(s.impl)),
+					trace.A("est_sels", ordered))
 			}
 		}
 	} else if runOpt && s.impl == exec.ImplBranchFree {
@@ -213,6 +232,9 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 			s.st.ImplSwitches++
 			s.impl = exec.ImplBranching
 			extra += recompileEngines(engines, s.opt)
+			traceDecision(s.opt.Trace, "impl-switch", s.accounted+extra, br.Counters,
+				trace.A("impl", implName(s.impl)),
+				trace.A("resample", true))
 		}
 	}
 	s.prevCostPerVec = costPerVec
@@ -221,6 +243,19 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 		s.st.ConvergedAtCycles = s.accounted
 	}
 	return extra, nil
+}
+
+// TraceFinal emits the plan-final event on the stepper's decision track (if
+// any), stamped with the accounted query clock. Callers invoke it once, when
+// the query's last block has been coordinated.
+func (s *BlockStepper) TraceFinal() {
+	if s.opt.Trace == nil {
+		return
+	}
+	s.opt.Trace.Instant("plan-final", s.accounted,
+		trace.A("order", s.curPerm), trace.A("reorders", s.st.Reorders),
+		trace.A("impl", implName(s.impl)),
+		trace.A("converged_at", s.st.ConvergedAtCycles))
 }
 
 // Stats snapshots the coordination telemetry; FinalOrder is the permutation

@@ -3,6 +3,8 @@ package exec
 import (
 	"fmt"
 	"math"
+
+	"progopt/internal/trace"
 )
 
 // This file implements the batch-kernel execution core: instead of the
@@ -49,7 +51,15 @@ func (e *Engine) batchSelect(q *Query, lo, hi int) ([]int32, error) {
 	next := e.selB
 	c := e.cpu
 	if !e.noFuse {
-		return fusedPipeline(c, q.Ops, cur, next), nil
+		if e.tr == nil {
+			return fusedPipeline(c, q.Ops, cur, next), nil
+		}
+		inN := len(cur)
+		t0 := c.Cycles()
+		out := fusedPipeline(c, q.Ops, cur, next)
+		e.tr.Span("fused-pipeline", t0, c.Cycles(),
+			trace.A("ops", len(q.Ops)), trace.A("in", inN), trace.A("out", len(out)))
+		return out, nil
 	}
 	for si, op := range q.Ops {
 		if len(cur) == 0 {
@@ -57,7 +67,14 @@ func (e *Engine) batchSelect(q *Query, lo, hi int) ([]int32, error) {
 			// would not evaluate them either.
 			break
 		}
-		next = op.EvalBatch(c, si, cur, next[:0])
+		if e.tr == nil {
+			next = op.EvalBatch(c, si, cur, next[:0])
+		} else {
+			t0 := c.Cycles()
+			next = op.EvalBatch(c, si, cur, next[:0])
+			e.tr.Span(op.Name(), t0, c.Cycles(),
+				trace.A("in", len(cur)), trace.A("out", len(next)))
+		}
 		cur, next = next, cur
 	}
 	return cur, nil

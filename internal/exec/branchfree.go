@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+
+	"progopt/internal/trace"
 )
 
 // BranchFreeScan executes a multi-predicate selection without data-dependent
@@ -40,10 +42,22 @@ func (e *Engine) RunVectorBranchFree(q *Query, lo, hi int) (VectorResult, error)
 		}
 	}
 	if e.skipVector(lo, hi) {
+		if e.tr != nil {
+			e.tr.Instant("skip", e.cpu.Cycles(), trace.A("lo", lo), trace.A("rows", hi-lo))
+		}
 		return VectorResult{}, nil
 	}
+	var t0 uint64
+	if e.tr != nil {
+		t0 = e.cpu.Cycles()
+	}
 	if !e.scalar {
-		return e.runVectorBranchFreeBatch(q, lo, hi)
+		vr, err := e.runVectorBranchFreeBatch(q, lo, hi)
+		if err == nil && e.tr != nil {
+			e.tr.Span("vector", t0, e.cpu.Cycles(), trace.A("lo", lo),
+				trace.A("rows", hi-lo), trace.A("qual", vr.Qualifying), trace.A("impl", "branch-free"))
+		}
+		return vr, err
 	}
 	c := e.cpu
 	ops := q.Ops
@@ -85,6 +99,10 @@ func (e *Engine) RunVectorBranchFree(q *Query, lo, hi int) (VectorResult, error)
 	if deferEdge {
 		c.Exec(loopOverheadInstr * (hi - lo))
 		c.CondBranchN(loopSite, true, hi-lo)
+	}
+	if e.tr != nil {
+		e.tr.Span("vector", t0, c.Cycles(), trace.A("lo", lo),
+			trace.A("rows", hi-lo), trace.A("qual", res.Qualifying), trace.A("impl", "branch-free"))
 	}
 	return res, nil
 }

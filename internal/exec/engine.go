@@ -6,6 +6,7 @@ import (
 	"progopt/internal/columnar"
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
+	"progopt/internal/trace"
 )
 
 // Aggregate computes a running float64 sum over qualifying tuples.
@@ -132,6 +133,12 @@ type Engine struct {
 	// verdicts per vector plus this core's private storage-tier view (see
 	// storage.go). Same lifecycle as sortRun.
 	stor *StorageScan
+	// tr, when non-nil, receives this core's execution spans (vectors,
+	// operators, morsels) keyed on the core's simulated clock. Recording is a
+	// pure observer — only Cycles() reads on the enabled path — so traced and
+	// untraced runs are bit-identical; a nil track is the zero-overhead
+	// disabled state.
+	tr *trace.Track
 }
 
 // NewEngine returns an engine with the given vector size (tuples per vector).
@@ -176,6 +183,17 @@ func MustEngine(c *cpu.CPU, vectorSize int) *Engine {
 // CPU exposes the engine's simulated core.
 func (e *Engine) CPU() *cpu.CPU { return e.cpu }
 
+// SetTrace attaches (or, with nil, detaches) the event track this simulated
+// core's execution spans are recorded on. The track must have a single writer
+// at any instant: attach per core, and only while the core is quiesced.
+func (e *Engine) SetTrace(t *trace.Track) {
+	e.tr = t
+	e.wireStorageObserver()
+}
+
+// Trace returns the attached event track (nil when tracing is disabled).
+func (e *Engine) Trace() *trace.Track { return e.tr }
+
 // SetSortRun attaches (or, with nil, detaches) the order-by collector every
 // qualifying row of subsequent vectors feeds. The caller owns the state's
 // lifecycle: one fresh SortRun per core per run, detached after the
@@ -216,12 +234,31 @@ func (e *Engine) RunVector(q *Query, lo, hi int) (VectorResult, error) {
 		return VectorResult{}, err
 	}
 	if e.skipVector(lo, hi) {
+		if e.tr != nil {
+			e.tr.Instant("skip", e.cpu.Cycles(), trace.A("lo", lo), trace.A("rows", hi-lo))
+		}
 		return VectorResult{}, nil
 	}
-	if e.scalar {
-		return e.runVectorScalar(q, lo, hi), nil
+	if e.tr == nil {
+		if e.scalar {
+			return e.runVectorScalar(q, lo, hi), nil
+		}
+		return e.runVectorBatch(q, lo, hi)
 	}
-	return e.runVectorBatch(q, lo, hi)
+	t0 := e.cpu.Cycles()
+	var vr VectorResult
+	var err error
+	if e.scalar {
+		vr = e.runVectorScalar(q, lo, hi)
+	} else {
+		vr, err = e.runVectorBatch(q, lo, hi)
+	}
+	if err != nil {
+		return vr, err
+	}
+	e.tr.Span("vector", t0, e.cpu.Cycles(),
+		trace.A("lo", lo), trace.A("rows", hi-lo), trace.A("qual", vr.Qualifying))
+	return vr, nil
 }
 
 // RunVectorScalar executes rows [lo, hi) with the tuple-at-a-time row loop
@@ -337,6 +374,10 @@ func (e *Engine) Run(q *Query) (Result, error) {
 	out.Cycles = e.cpu.Cycles() - startCycles
 	out.Millis = e.cpu.MillisOf(out.Cycles)
 	out.Counters = e.cpu.Sample().Sub(start)
+	if e.tr != nil {
+		e.tr.Span("run", startCycles, e.cpu.Cycles(),
+			trace.A("vectors", out.Vectors), trace.A("qual", out.Qualifying))
+	}
 	return out, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
+	"progopt/internal/trace"
 )
 
 // Parallel executes queries with morsel-driven parallelism (Leis et al.,
@@ -101,6 +102,22 @@ func (p *Parallel) SetScalar(scalar bool) {
 func (p *Parallel) SetFuse(enable bool) {
 	for _, w := range p.workers {
 		w.SetFuse(enable)
+	}
+}
+
+// SetTrace attaches one event track per simulated core (tracks[i] goes to
+// core i; nil detaches all). During a wave, core i's track is written only by
+// the host goroutine running core i, and the coordinator adds morsel spans at
+// the wave barrier while the members are quiesced — single-writer per track
+// throughout, so append order is the certified serial schedule and traces
+// reproduce byte-for-byte at any GOMAXPROCS.
+func (p *Parallel) SetTrace(tracks []*trace.Track) {
+	for i, w := range p.workers {
+		if tracks == nil || i >= len(tracks) {
+			w.SetTrace(nil)
+		} else {
+			w.SetTrace(tracks[i])
+		}
 	}
 }
 
@@ -466,6 +483,7 @@ func (p *Parallel) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clock
 		startSamples[i] = p.workers[w].CPU().Sample()
 	}
 	var out BlockResult
+	wave := 0
 	for v := vecLo; v < vecHi; {
 		slots, nv := p.buildWave(cores, clocks, v, vecHi, n, nil)
 		p.runWave(q, impl, slots)
@@ -486,7 +504,17 @@ func (p *Parallel) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clock
 				out.Sum += s.res.Sum
 			}
 			out.Vectors++
+			// Morsel spans are emitted by the coordinator while the members
+			// are quiesced at the barrier: the core clock still reads the
+			// slot's end, and append order (ascending morsel) is a pure
+			// function of the certified schedule.
+			if tr := p.workers[s.core].tr; tr != nil {
+				end := p.workers[s.core].CPU().Cycles()
+				tr.Span("morsel", end-s.cycles, end,
+					trace.A("v", s.v), trace.A("wave", wave), trace.A("rows", s.hi-s.lo))
+			}
 		}
+		wave++
 		v = nv
 	}
 	out.WorkerCycles = busy
@@ -567,6 +595,11 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 			}
 			out.Qualifying += int64(len(s.sel))
 			out.Vectors++
+			if tr := p.workers[s.core].tr; tr != nil {
+				end := p.workers[s.core].CPU().Cycles()
+				tr.Span("morsel", end-s.cycles, end,
+					trace.A("v", s.v), trace.A("rows", s.hi-s.lo), trace.A("grouped", true))
+			}
 		}
 		v = nv
 	}
@@ -591,6 +624,9 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 		}
 	}
 	mergeCycles := c0.Cycles() - mergeStart
+	if tr := p.workers[0].tr; tr != nil && mergeCycles > 0 {
+		tr.Span("group-merge", mergeStart, c0.Cycles(), trace.A("workers", nw))
+	}
 
 	for w, eng := range p.workers {
 		out.Counters = out.Counters.Add(eng.CPU().Sample().Sub(startSamples[w]))

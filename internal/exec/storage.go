@@ -1,6 +1,9 @@
 package exec
 
-import "progopt/internal/hw/cache"
+import (
+	"progopt/internal/hw/cache"
+	"progopt/internal/trace"
+)
 
 // StorageScan attaches a compiled storage-scan plan to one engine core. It
 // carries two independent capabilities of a stored (PCOL v2) driving table:
@@ -27,12 +30,42 @@ type StorageScan struct {
 // after the barrier. Attaching also installs the plan's tier view on the
 // core's cache hierarchy.
 func (e *Engine) SetStorage(s *StorageScan) {
+	if old := e.stor; old != nil && old.Set != nil {
+		old.Set.SetObserver(nil)
+	}
 	e.stor = s
 	if s != nil {
 		e.cpu.Hierarchy().AttachStorage(s.Set)
 	} else {
 		e.cpu.Hierarchy().AttachStorage(nil)
 	}
+	e.wireStorageObserver()
+}
+
+// wireStorageObserver connects the attached tier view's fetch/evict stream to
+// this core's event track, stamping events with the core's simulated clock.
+// Events land on the track of whichever core caused the traffic, so per-track
+// order stays single-writer and deterministic. Called from both SetStorage
+// and SetTrace — attach order does not matter.
+func (e *Engine) wireStorageObserver() {
+	s := e.stor
+	if s == nil || s.Set == nil {
+		return
+	}
+	if e.tr == nil {
+		s.Set.SetObserver(nil)
+		return
+	}
+	tr, c := e.tr, e.cpu
+	s.Set.SetObserver(func(kind cache.StorageEventKind, block int, bytes, stall uint64) {
+		switch kind {
+		case cache.StorageFetch:
+			tr.Instant("tier-fetch", c.Cycles(),
+				trace.A("block", block), trace.A("bytes", bytes), trace.A("stall", stall))
+		case cache.StorageEvict:
+			tr.Instant("tier-evict", c.Cycles(), trace.A("block", block))
+		}
+	})
 }
 
 // Storage returns the attached storage-scan plan, or nil.

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"progopt/internal/trace"
 )
 
 // Config scales an experiment run. Zero values take defaults; Quick shrinks
@@ -33,6 +35,10 @@ type Config struct {
 	// ScalarExec forces the tuple-at-a-time row loop instead of the
 	// batch-kernel pipeline.
 	ScalarExec bool
+	// Trace, when non-nil, records every rig measurement into this recorder:
+	// each rig registers its own uniquely named core and optimizer tracks, so
+	// one recorder can hold a whole experiment's sweep for Chrome export.
+	Trace *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +167,7 @@ func All() []Experiment {
 		{"ext-serve", "Extension: workload service — concurrency, latency, feedback cache", ExtServe},
 		{"ext-topk", "Extension: morsel-parallel Top-K/OrderBy operator", ExtTopK},
 		{"ext-storage", "Extension: stored PCOL v2 tables — budget sweep, compression, packed scans", ExtStorage},
+		{"ext-trace", "Extension: traced convergence timeline — reorder events and PMU series v. simulated cycles", ExtTrace},
 	}
 }
 

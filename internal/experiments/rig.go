@@ -6,6 +6,7 @@ import (
 	"progopt/internal/core"
 	"progopt/internal/exec"
 	"progopt/internal/hw/cpu"
+	"progopt/internal/trace"
 )
 
 // rig bundles the simulated cores and engine for a sequence of measurements
@@ -19,6 +20,10 @@ type rig struct {
 	eng *exec.Engine
 	// par is the morsel-driven multi-core executor, nil when Workers <= 1.
 	par *exec.Parallel
+	// opt is the optimizer-decision track when the config carries a trace
+	// recorder, nil otherwise. Rigs within one recorder get uniquely prefixed
+	// track names so sweeps over several rigs stay distinguishable.
+	opt *trace.Track
 }
 
 func newRig(prof cpu.Profile, cfg Config) (*rig, error) {
@@ -39,6 +44,26 @@ func newRig(prof cpu.Profile, cfg Config) (*rig, error) {
 		}
 		par.SetScalar(cfg.ScalarExec)
 		r.par = par
+	}
+	if cfg.Trace != nil {
+		// Track names embed the recorder's current track count so each rig
+		// in a sweep gets its own set (determinism: rigs are created in
+		// program order, never concurrently).
+		id := cfg.Trace.NumTracks()
+		workers := cfg.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		cores := make([]*trace.Track, workers)
+		for i := range cores {
+			cores[i] = cfg.Trace.NewTrack(fmt.Sprintf("rig%d/core %d", id, i))
+		}
+		r.opt = cfg.Trace.NewTrack(fmt.Sprintf("rig%d/optimizer", id))
+		if r.par != nil {
+			r.par.SetTrace(cores)
+		} else {
+			r.eng.SetTrace(cores[0])
+		}
 	}
 	return r, nil
 }
@@ -84,11 +109,12 @@ func (r *rig) measureProgressive(q *exec.Query, perm []int, reopInt int) (exec.R
 		return exec.Result{}, core.Stats{}, err
 	}
 	r.cold()
+	opts := core.Options{ReopInterval: reopInt, Trace: r.opt}
 	if r.par != nil {
-		res, pst, err := core.RunParallelProgressive(r.par, qo, core.Options{ReopInterval: reopInt})
+		res, pst, err := core.RunParallelProgressive(r.par, qo, opts)
 		return res, pst.Stats, err
 	}
-	return core.RunProgressive(r.eng, qo, core.Options{ReopInterval: reopInt})
+	return core.RunProgressive(r.eng, qo, opts)
 }
 
 // millis converts simulated cycles to msec on the rig's clock.

@@ -40,6 +40,10 @@ type StorageSet struct {
 
 	residentBytes uint64
 	ctr           StorageCounters
+
+	// obs, when non-nil, is notified of fetches and evictions (see
+	// StorageObserver). Purely observational: set after counter updates.
+	obs StorageObserver
 }
 
 // StorageConfig prices the tier.
@@ -51,6 +55,28 @@ type StorageConfig struct {
 	// BudgetBytes bounds the resident set, in encoded bytes; 0 = unbounded.
 	BudgetBytes uint64
 }
+
+// StorageEventKind discriminates the tier events an observer can receive.
+type StorageEventKind uint8
+
+// Storage event kinds.
+const (
+	// StorageFetch is a block transfer from the tier (carries bytes + stall).
+	StorageFetch StorageEventKind = iota
+	// StorageEvict is a block dropped to fit the budget.
+	StorageEvict
+)
+
+// StorageObserver receives tier events as they are priced: the block id, the
+// encoded bytes moved (fetches only), and the stall cycles charged. Observers
+// must be pure with respect to the simulation — the set calls them after all
+// counter updates, and they see exactly the deterministic per-core event
+// order. Per-access hits are not reported (residency is visible through
+// Counters); fetch/evict traffic is bounded by the block count per pass.
+type StorageObserver func(kind StorageEventKind, block int, bytes, stall uint64)
+
+// SetObserver installs (or, with nil, removes) the tier event observer.
+func (s *StorageSet) SetObserver(obs StorageObserver) { s.obs = obs }
 
 // StorageCounters are the tier's monotonic statistics.
 type StorageCounters struct {
@@ -206,6 +232,9 @@ func (s *StorageSet) fetch(b int32) uint64 {
 	if s.tail < 0 {
 		s.tail = b
 	}
+	if s.obs != nil {
+		s.obs(StorageFetch, int(b), cost, stall)
+	}
 	if s.cfg.BudgetBytes > 0 {
 		for s.residentBytes > s.cfg.BudgetBytes && s.tail != b {
 			s.evictTail()
@@ -246,6 +275,9 @@ func (s *StorageSet) evictTail() {
 	s.resident[b] = false
 	s.residentBytes -= s.costBytes[b]
 	s.ctr.Evictions++
+	if s.obs != nil {
+		s.obs(StorageEvict, int(b), 0, 0)
+	}
 	p := s.prev[b]
 	s.tail = p
 	if p >= 0 {

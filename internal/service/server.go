@@ -9,6 +9,7 @@ import (
 	"progopt/internal/exec"
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
+	"progopt/internal/trace"
 )
 
 // Mode mirrors the public execution modes.
@@ -203,6 +204,11 @@ type Server struct {
 
 	feedback *LRU
 	stats    Stats
+
+	// tr, when non-nil, receives admission and scheduling events (submit,
+	// admit, warm-start, done), stamped with simulated clocks and appended
+	// only under mu — a pure observer of the deterministic simulation.
+	tr *trace.Track
 }
 
 // New builds a server with its own pool of worker cores of the given
@@ -240,6 +246,18 @@ func New(prof cpu.Profile, workers, vectorSize int, scalar bool, cfg Config) (*S
 
 // Workers returns the pool size.
 func (s *Server) Workers() int { return s.pool.Workers() }
+
+// SetTrace attaches (or, with nils, detaches) event tracks: svc receives the
+// server's admission and scheduling events, cores the per-pool-core execution
+// spans (passed through to the pool; shorter slices detach the remainder).
+// Tracing is a pure observer — it charges no simulated work, so traced and
+// untraced serves are bit-identical in every outcome and clock.
+func (s *Server) SetTrace(svc *trace.Track, cores []*trace.Track) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr = svc
+	s.pool.SetTrace(cores)
+}
 
 // Close releases the pool's host worker goroutines, if any were started
 // (multi-core hosts only; see exec.Parallel.Close). The server must be
@@ -341,7 +359,24 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	if len(s.queue) > s.stats.PeakQueued {
 		s.stats.PeakQueued = len(s.queue)
 	}
+	if s.tr != nil {
+		s.tr.Instant("submit", q.arrival,
+			trace.A("seq", q.seq), trace.A("mode", modeName(req.Mode)),
+			trace.A("queued", len(s.queue)))
+	}
 	return &Ticket{s: s, q: q}, nil
+}
+
+// modeName renders an execution mode for trace args.
+func modeName(m Mode) string {
+	switch m {
+	case ModeProgressive:
+		return "progressive"
+	case ModeMicroAdaptive:
+		return "micro-adaptive"
+	default:
+		return "fixed"
+	}
 }
 
 // Wait drives scheduling rounds until the ticket's query completes and
@@ -489,6 +524,16 @@ func (s *Server) admitLocked() {
 		s.membershipChanged = true
 		if len(s.active) > s.stats.PeakActive {
 			s.stats.PeakActive = len(s.active)
+		}
+		if s.tr != nil {
+			s.tr.Instant("admit", now,
+				trace.A("seq", head.seq), trace.A("active", len(s.active)),
+				trace.A("queued", len(s.queue)))
+			if head.warm != nil {
+				s.tr.Instant("warm-start", now,
+					trace.A("seq", head.seq), trace.A("order", head.warm),
+					trace.A("impl", head.warmImpl == exec.ImplBranchFree))
+			}
 		}
 		if head.grouped() {
 			break
@@ -818,6 +863,7 @@ func (s *Server) finishLocked(q *query, done uint64) {
 	q.state = stateDone
 	q.millis = s.pool.Engines()[0].CPU().MillisOf(q.busy)
 	if q.step != nil {
+		q.step.TraceFinal()
 		q.st = q.step.Stats()
 		q.st.Vectors = q.vectors
 		if q.warm != nil {
@@ -836,4 +882,9 @@ func (s *Server) finishLocked(q *query, done uint64) {
 		}
 	}
 	s.stats.Completed++
+	if s.tr != nil {
+		s.tr.Span("query", q.start, done,
+			trace.A("seq", q.seq), trace.A("latency", done-q.arrival),
+			trace.A("queue_wait", q.start-q.arrival), trace.A("qual", q.qual))
+	}
 }

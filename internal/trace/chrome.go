@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChrome serializes the recorder as Chrome trace-event JSON (the format
+// Perfetto and chrome://tracing load). One trace nanosecond equals one
+// simulated cycle: timestamps are emitted as microseconds with three decimal
+// places (ts = cycles/1000), which is exact for every cycle count below 2^53
+// and keeps distinct cycles at distinct timestamps.
+//
+// The layout is fixed: a thread_name metadata event per track (pid 1, tid =
+// track creation index), then each track's events in append order. Because
+// append order per track is deterministic (see the package comment) and all
+// numeric formatting is exact, identical simulations produce byte-identical
+// files across runs, GOMAXPROCS settings, and hosts.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func() {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+	}
+	for tid, t := range r.tracks {
+		emit()
+		fmt.Fprintf(&b, "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+			tid, jsonString(t.name))
+	}
+	for tid, t := range r.tracks {
+		for i := range t.events {
+			ev := &t.events[i]
+			emit()
+			if ev.Instant {
+				fmt.Fprintf(&b, "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"name\":%s",
+					tid, cyclesToTs(ev.Start), jsonString(ev.Name))
+			} else {
+				fmt.Fprintf(&b, "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s",
+					tid, cyclesToTs(ev.Start), cyclesToTs(ev.End-ev.Start), jsonString(ev.Name))
+			}
+			writeArgs(&b, ev.Args)
+			b.WriteByte('}')
+		}
+		if t.dropped > 0 {
+			emit()
+			last := t.events[len(t.events)-1].End
+			fmt.Fprintf(&b, "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"s\":\"t\",\"name\":\"events_dropped\",\"args\":{\"count\":%d}}",
+				tid, cyclesToTs(last), t.dropped)
+		}
+	}
+	b.WriteString("\n]}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// cyclesToTs renders a cycle count as microseconds at 1 cycle = 1 ns, with
+// exactly three decimals: integer arithmetic only, so the rendering is exact.
+func cyclesToTs(cycles uint64) string {
+	return fmt.Sprintf("%d.%03d", cycles/1000, cycles%1000)
+}
+
+func writeArgs(b *bytes.Buffer, args []Arg) {
+	if len(args) == 0 {
+		return
+	}
+	b.WriteString(",\"args\":{")
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(jsonString(a.Key))
+		b.WriteByte(':')
+		writeVal(b, a.Val)
+	}
+	b.WriteByte('}')
+}
+
+func writeVal(b *bytes.Buffer, v any) {
+	switch x := v.(type) {
+	case uint64:
+		b.WriteString(strconv.FormatUint(x, 10))
+	case int:
+		b.WriteString(strconv.Itoa(x))
+	case int64:
+		b.WriteString(strconv.FormatInt(x, 10))
+	case float64:
+		// shortest round-trip form; deterministic (pure-Go Ryū formatting)
+		b.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	case bool:
+		b.WriteString(strconv.FormatBool(x))
+	case string:
+		b.WriteString(jsonString(x))
+	case []int:
+		b.WriteByte('[')
+		for i, n := range x {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(n))
+		}
+		b.WriteByte(']')
+	case []float64:
+		b.WriteByte('[')
+		for i, f := range x {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		b.WriteByte(']')
+	default:
+		b.WriteString(jsonString(fmt.Sprintf("%v", x)))
+	}
+}
+
+// jsonString renders s as a JSON string literal via encoding/json, whose
+// escaping is deterministic.
+func jsonString(s string) string {
+	buf, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return `"?"`
+	}
+	return string(buf)
+}

@@ -1,0 +1,213 @@
+// Package trace is the engine's deterministic observability layer: an event
+// recorder keyed entirely on the simulated clock, a Chrome trace-event (JSON)
+// exporter loadable in Perfetto, and a simulated-time metrics registry with
+// Prometheus text exposition.
+//
+// Two invariants shape the design:
+//
+//   - Pure observer. Recording an event performs no simulated work — callers
+//     pass in cycle values they already read from their core's clock, and the
+//     recorder touches no cache, predictor, or counter state. Traced and
+//     untraced runs are therefore bit-identical in results, cycles, and every
+//     PMU counter (pinned by the equivalence suite).
+//
+//   - Determinism. Events carry simulated cycles, never host time, and every
+//     track has a single writer at any instant: a core's track is appended by
+//     whichever host goroutine runs that simulated core (the wave scheduler
+//     certifies the per-core morsel order equals the serial schedule), and the
+//     optimizer/service tracks are appended only between waves or under the
+//     service lock. Append order per track is thus a pure function of the
+//     simulation, so exporting tracks in creation order and events in append
+//     order yields byte-identical files across runs, GOMAXPROCS, and hosts.
+//
+// The zero-overhead-when-disabled contract is structural: a disabled path
+// holds a nil *Track, every method is a nil-receiver no-op, and hot loops
+// guard with a single pointer test before building any argument.
+package trace
+
+// Arg is one key/value annotation on an event. Values are restricted to the
+// JSON-exact types the exporter can serialize deterministically.
+type Arg struct {
+	Key string
+	Val any // uint64, int, int64, float64, bool, string, []int, []float64
+}
+
+// A returns an Arg; it exists so call sites read as A("rows", n).
+func A(key string, val any) Arg { return Arg{Key: key, Val: val} }
+
+// Event is one recorded span or instant on a track. Start and End are
+// simulated cycles on the owning core's clock; an instant has End == Start.
+type Event struct {
+	Name    string
+	Start   uint64
+	End     uint64
+	Instant bool
+	Args    []Arg
+}
+
+// Track is an append-only event sequence owned by one timeline (a simulated
+// core, the optimizer, the service scheduler). All methods are safe on a nil
+// receiver and do nothing, so a nil Track is the disabled state.
+type Track struct {
+	name    string
+	events  []Event
+	limit   int
+	dropped int
+}
+
+// Name returns the track's display name.
+func (t *Track) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Events returns the recorded events (borrowed, not copied).
+func (t *Track) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Dropped returns how many events were discarded after the track filled.
+func (t *Track) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Span records a [start, end] interval. Args are retained as given; callers
+// must not mutate them afterwards.
+func (t *Track) Span(name string, start, end uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Start: start, End: end, Args: args})
+}
+
+// Instant records a point event at the given cycle.
+func (t *Track) Instant(name string, at uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Start: at, End: at, Instant: true, Args: args})
+}
+
+func (t *Track) add(ev Event) {
+	if t.limit > 0 && len(t.events) >= t.limit {
+		// Full tracks drop deterministically: the first limit events are
+		// kept, the drop count is exported so truncation is visible.
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// DefaultMaxEventsPerTrack bounds a track's buffer when the recorder was not
+// given an explicit limit; generous enough for every in-repo workload while
+// keeping a runaway loop from exhausting host memory.
+const DefaultMaxEventsPerTrack = 1 << 20
+
+// Recorder owns an ordered set of tracks. Track creation is not synchronized:
+// create every track up front, on one goroutine, before handing the handles
+// to their owners (the engine attach path does exactly this).
+type Recorder struct {
+	tracks []*Track
+	limit  int
+}
+
+// New returns an empty recorder with the default per-track event limit.
+func New() *Recorder { return &Recorder{limit: DefaultMaxEventsPerTrack} }
+
+// SetMaxEventsPerTrack bounds each subsequently created track's buffer;
+// n <= 0 restores the default.
+func (r *Recorder) SetMaxEventsPerTrack(n int) {
+	if n <= 0 {
+		n = DefaultMaxEventsPerTrack
+	}
+	r.limit = n
+}
+
+// NewTrack appends a track and returns its handle. Tracks export in creation
+// order, so a fixed attach sequence yields a fixed file layout.
+func (r *Recorder) NewTrack(name string) *Track {
+	t := &Track{name: name, limit: r.limit}
+	r.tracks = append(r.tracks, t)
+	return t
+}
+
+// Tracks returns the tracks in creation order (borrowed, not copied).
+func (r *Recorder) Tracks() []*Track { return r.tracks }
+
+// NumTracks returns how many tracks exist.
+func (r *Recorder) NumTracks() int { return len(r.tracks) }
+
+// Events returns the total recorded event count across all tracks.
+func (r *Recorder) Events() int {
+	n := 0
+	for _, t := range r.tracks {
+		n += len(t.events)
+	}
+	return n
+}
+
+// Reset drops every recorded event and drop count but keeps the tracks, so
+// long-lived attachments (benchmarks, serving sessions) can reuse buffers.
+func (r *Recorder) Reset() {
+	for _, t := range r.tracks {
+		t.events = t.events[:0]
+		t.dropped = 0
+	}
+}
+
+// Marks snapshots each track's current event count; SummarizeSince uses it to
+// aggregate only the events recorded after the snapshot (one run's worth on a
+// recorder that accumulates across runs).
+func (r *Recorder) Marks() []int {
+	m := make([]int, len(r.tracks))
+	for i, t := range r.tracks {
+		m[i] = len(t.events)
+	}
+	return m
+}
+
+// NameAgg aggregates the events sharing one name: how often it occurred and
+// the summed span length in simulated cycles (zero for instants).
+type NameAgg struct {
+	Name   string
+	Count  int
+	Cycles uint64
+}
+
+// SummarizeSince aggregates events recorded after marks (from Marks; nil
+// means everything) grouped by event name, in first-appearance order.
+func (r *Recorder) SummarizeSince(marks []int) []NameAgg {
+	var (
+		order []string
+		byN   = map[string]*NameAgg{}
+	)
+	for i, t := range r.tracks {
+		lo := 0
+		if marks != nil && i < len(marks) {
+			lo = marks[i]
+		}
+		for _, ev := range t.events[lo:] {
+			a := byN[ev.Name]
+			if a == nil {
+				a = &NameAgg{Name: ev.Name}
+				byN[ev.Name] = a
+				order = append(order, ev.Name)
+			}
+			a.Count++
+			a.Cycles += ev.End - ev.Start
+		}
+	}
+	out := make([]NameAgg, len(order))
+	for i, n := range order {
+		out[i] = *byN[n]
+	}
+	return out
+}

@@ -58,6 +58,11 @@ type Config struct {
 	// image of the driving table, priced through a simulated storage tier
 	// below DRAM. See StorageConfig.
 	Storage *StorageConfig
+	// Trace, when non-nil, records execution spans, optimizer decisions, and
+	// storage-tier events on the simulated clock, exportable as Chrome
+	// trace-event JSON (Perfetto). A pure observer: traced and untraced runs
+	// are bit-identical. See TraceOptions and Engine.Trace.
+	Trace *TraceOptions
 }
 
 // Engine is the public facade: one or more simulated cores plus the
@@ -73,6 +78,8 @@ type Engine struct {
 	// stored caches each data set's stored driving table by generation.
 	stcfg  *StorageConfig
 	stored map[uint64]*storedTable
+	// tr is the engine's event recorder, nil when tracing is disabled.
+	tr *Trace
 }
 
 // New builds an Engine.
@@ -116,7 +123,18 @@ func New(cfg Config) (*Engine, error) {
 		cp := *stcfg
 		stcfg = &cp
 	}
-	return &Engine{cpu: c, eng: e, par: par, workers: workers, scalar: cfg.ScalarExec, stcfg: stcfg}, nil
+	var tr *Trace
+	if cfg.Trace != nil {
+		tr = newTrace(cfg.Trace, workers)
+		// Per-core tracks attach to whichever cores will execute queries:
+		// the parallel pool when one exists, the serial engine otherwise.
+		if par != nil {
+			par.SetTrace(tr.cores)
+		} else {
+			e.SetTrace(tr.cores[0])
+		}
+	}
+	return &Engine{cpu: c, eng: e, par: par, workers: workers, scalar: cfg.ScalarExec, stcfg: stcfg, tr: tr}, nil
 }
 
 // Workers returns the number of simulated cores the engine runs queries on.
@@ -212,6 +230,9 @@ type Query struct {
 	// been served. Reported by Explain. Atomic because the plan cache
 	// shares compiled queries across concurrently-waited submissions.
 	served atomic.Pointer[servedProvenance]
+	// traced holds the span summary of this query's most recent traced Exec
+	// (nil when it never ran under tracing). Reported by Explain.
+	traced atomic.Pointer[[]TraceAgg]
 	// storage is the compiled stored-scan state, nil when the engine reads
 	// from RAM. Zone-map pruning is order-independent, so reordered queries
 	// share it.
@@ -412,6 +433,24 @@ type Stats struct {
 	// means the initial order was never changed, the signature of a
 	// feedback-cache warm start that began at the converged order.
 	ConvergedAtCycles uint64
+	// Samples is the per-optimization-cycle observation series (bounded to
+	// the most recent 512): the PMU evidence each sampling point saw and the
+	// selectivity estimate it produced, on the run's cycle clock. The trace's
+	// optimizer track and the ext-* convergence figures render this same
+	// series.
+	Samples []SampleObs
+}
+
+// SampleObs is one progressive-sampling observation retained on Stats.
+type SampleObs struct {
+	// Cycles is the sampling time relative to the run's start.
+	Cycles uint64
+	// Tuples is how many tuples the sampled PMU delta covers.
+	Tuples int
+	// Counters holds the paper-group PMU delta by perf-style event name.
+	Counters map[string]uint64
+	// Sels is the selectivity estimate in current-order space.
+	Sels []float64
 }
 
 // RunProgressive executes the query with progressive re-optimization from a

@@ -7,6 +7,7 @@ import (
 	"progopt/internal/exec"
 	"progopt/internal/hw/cache"
 	"progopt/internal/hw/pmu"
+	"progopt/internal/trace"
 )
 
 // Mode selects how Exec drives a query.
@@ -128,6 +129,12 @@ func (e *Engine) Exec(q *Query, opts ExecOptions) (ExecResult, error) {
 		before = b
 		defer e.detachStorage()
 	}
+	// The trace summary aggregates exactly this query's events: mark the
+	// recorder now, summarize what was appended after the run.
+	var marks []int
+	if e.tr != nil {
+		marks = e.tr.rec.Marks()
+	}
 	var out ExecResult
 	var err error
 	switch {
@@ -140,6 +147,10 @@ func (e *Engine) Exec(q *Query, opts ExecOptions) (ExecResult, error) {
 	}
 	if err != nil {
 		return ExecResult{}, err
+	}
+	if e.tr != nil {
+		aggs := summarizeTrace(e.tr.rec.SummarizeSince(marks))
+		q.traced.Store(&aggs)
 	}
 	if q.storage != nil {
 		// The tier is an observer: the run's schedule, results, and PMU
@@ -256,8 +267,18 @@ func (e *Engine) execFixed(q *Query) (ExecResult, error) {
 	return ExecResult{Result: toResult(r)}, nil
 }
 
+// optTrack returns the engine's optimizer decision track, nil when tracing is
+// disabled.
+func (e *Engine) optTrack() *trace.Track {
+	if e.tr == nil {
+		return nil
+	}
+	return e.tr.opt
+}
+
 func (e *Engine) execProgressive(q *Query, p Progressive) (ExecResult, error) {
 	opts := p.coreOptions()
+	opts.Trace = e.optTrack()
 	e.cold()
 	if e.par != nil {
 		r, st, err := core.RunParallelProgressive(e.par, q.q, opts)
@@ -275,6 +296,7 @@ func (e *Engine) execProgressive(q *Query, p Progressive) (ExecResult, error) {
 
 func (e *Engine) execMicroAdaptive(q *Query, p Progressive) (ExecResult, error) {
 	opts := p.coreOptions()
+	opts.Trace = e.optTrack()
 	e.cold()
 	if e.par != nil {
 		r, st, err := core.RunParallelMicroAdaptive(e.par, q.q, opts)
@@ -347,5 +369,28 @@ func toStats(st core.Stats) Stats {
 		FinalOrder:        st.FinalOrder,
 		LastEstimate:      st.LastEstimate,
 		ConvergedAtCycles: st.ConvergedAtCycles,
+		Samples:           toSamples(st.Samples),
 	}
+}
+
+// toSamples maps the driver's retained observation series to the public type.
+func toSamples(ss []core.Sample) []SampleObs {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]SampleObs, len(ss))
+	for i, s := range ss {
+		out[i] = SampleObs{
+			Cycles: s.Cycles,
+			Tuples: s.Tuples,
+			Counters: map[string]uint64{
+				pmu.BrNotTaken.String():   s.Counters.Get(pmu.BrNotTaken),
+				pmu.BrMPTaken.String():    s.Counters.Get(pmu.BrMPTaken),
+				pmu.BrMPNotTaken.String(): s.Counters.Get(pmu.BrMPNotTaken),
+				pmu.L3Access.String():     s.Counters.Get(pmu.L3Access),
+			},
+			Sels: s.Sels,
+		}
+	}
+	return out
 }

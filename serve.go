@@ -2,10 +2,12 @@ package progopt
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"progopt/internal/exec"
 	"progopt/internal/service"
+	"progopt/internal/trace"
 )
 
 // ServerConfig configures a workload server.
@@ -101,6 +103,47 @@ type Server struct {
 	planHits        int
 	planMisses      int
 	disableFeedback bool
+
+	// met is the server's simulated-time metrics registry, always on (see
+	// WriteMetrics); metrics are host-side bookkeeping and perturb nothing.
+	met *serverMetrics
+}
+
+// serverMetrics bundles the server's registry and its instruments, registered
+// once in a fixed order so the exposition is byte-identical for identical
+// workloads.
+type serverMetrics struct {
+	reg *trace.Metrics
+
+	submitted, admitted, rejected, completed *trace.Gauge
+	planHits, planMisses, planEvictions      *trace.Gauge
+	warmStarts, feedbackStores               *trace.Gauge
+	latency                                  *trace.Summary
+	latP50, latP95, latP99                   *trace.Gauge
+	makespan                                 *trace.Gauge
+	resident                                 *trace.Gauge
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := trace.NewMetrics()
+	return &serverMetrics{
+		reg:            reg,
+		submitted:      reg.Gauge("progopt_queries_submitted", "Queries submitted to the server."),
+		admitted:       reg.Gauge("progopt_queries_admitted", "Queries admitted by the admission controller."),
+		rejected:       reg.Gauge("progopt_queries_rejected", "Queries rejected at the queue limit."),
+		completed:      reg.Gauge("progopt_queries_completed", "Queries completed."),
+		planHits:       reg.Gauge("progopt_plan_cache_hits", "Plan-cache lookups that skipped Compile."),
+		planMisses:     reg.Gauge("progopt_plan_cache_misses", "Plan-cache lookups that required Compile."),
+		planEvictions:  reg.Gauge("progopt_plan_cache_evictions", "Plan-cache capacity evictions."),
+		warmStarts:     reg.Gauge("progopt_feedback_warm_starts", "Submissions that began at a feedback-cached converged order."),
+		feedbackStores: reg.Gauge("progopt_feedback_stores", "Adaptive completions that deposited a converged order."),
+		latency:        reg.Summary("progopt_query_latency_cycles", "Per-query simulated latency (Done-Arrival), in cycles."),
+		latP50:         reg.Gauge("progopt_query_latency_p50_millis", "p50 simulated query latency, in simulated milliseconds."),
+		latP95:         reg.Gauge("progopt_query_latency_p95_millis", "p95 simulated query latency, in simulated milliseconds."),
+		latP99:         reg.Gauge("progopt_query_latency_p99_millis", "p99 simulated query latency, in simulated milliseconds."),
+		makespan:       reg.Gauge("progopt_makespan_millis", "Simulated time the core pool has been driven to."),
+		resident:       reg.Gauge("progopt_storage_resident_bytes", "Storage-tier bytes resident in the DRAM budget after the most recent stored query."),
+	}
 }
 
 // NewServer builds a workload server on the engine. The server schedules on
@@ -124,11 +167,23 @@ func NewServer(e *Engine, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// When the engine traces, the server's pool and admission events join the
+	// same recorder: per-pool-core tracks plus a service track. Track creation
+	// happens here, before any scheduling, so track order is deterministic.
+	if e.tr != nil {
+		rec := e.tr.rec
+		pool := make([]*trace.Track, svc.Workers())
+		for i := range pool {
+			pool[i] = rec.NewTrack(fmt.Sprintf("pool %d", i))
+		}
+		svc.SetTrace(rec.NewTrack("service"), pool)
+	}
 	return &Server{
 		e:               e,
 		svc:             svc,
 		plans:           service.NewLRU(cfg.PlanCacheSize),
 		disableFeedback: cfg.DisableFeedback,
+		met:             newServerMetrics(),
 	}, nil
 }
 
@@ -214,6 +269,11 @@ func (s *Server) SubmitAt(d *Dataset, p *Plan, opts ExecOptions, arrival uint64)
 		Fingerprint: fp,
 		NoFeedback:  s.disableFeedback,
 	}
+	// Served steppers share the engine's optimizer track: the scheduler
+	// advances queries one block at a time under its lock, so decision
+	// events from concurrent queries interleave deterministically (each
+	// stamped with its own query's accounted block clock).
+	req.Opt.Trace = s.e.optTrack()
 	if q.group != nil {
 		req.Groups = q.group.tables
 	}
@@ -298,6 +358,18 @@ func (t *Ticket) Wait() (ExecResult, error) {
 		out.Millis = t.s.e.cpu.MillisOf(out.Cycles)
 	}
 	lat := o.Done - o.Arrival
+	// Latency observations are integral cycle counts, so the summary's sum
+	// and quantiles are exact and independent of Wait completion order.
+	t.s.met.latency.Observe(float64(lat))
+	if t.stviews != nil {
+		var res uint64
+		for _, v := range t.stviews {
+			if v != nil && v.Set != nil {
+				res += v.Set.ResidentBytes()
+			}
+		}
+		t.s.met.resident.Set(float64(res))
+	}
 	out.Served = &ServedInfo{
 		Arrival:       o.Arrival,
 		Start:         o.Start,
@@ -336,3 +408,27 @@ func (s *Server) Stats() ServerStats {
 
 // Workers returns the size of the server's core pool.
 func (s *Server) Workers() int { return s.svc.Workers() }
+
+// WriteMetrics renders the server's metrics in the Prometheus text exposition
+// format (version 0.0.4): query throughput, plan- and feedback-cache
+// effectiveness, p50/p95/p99 simulated latency, pool makespan, and
+// storage-tier residency. Every value is a simulated quantity; exposition is
+// byte-identical for identical workloads.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	st := s.Stats()
+	m := s.met
+	m.submitted.Set(float64(st.Submitted))
+	m.admitted.Set(float64(st.Admitted))
+	m.rejected.Set(float64(st.Rejected))
+	m.completed.Set(float64(st.Completed))
+	m.planHits.Set(float64(st.PlanCacheHits))
+	m.planMisses.Set(float64(st.PlanCacheMisses))
+	m.planEvictions.Set(float64(st.PlanCacheEvictions))
+	m.warmStarts.Set(float64(st.FeedbackWarmStarts))
+	m.feedbackStores.Set(float64(st.FeedbackStores))
+	m.latP50.Set(s.e.cpu.MillisOf(uint64(m.latency.Quantile(0.5))))
+	m.latP95.Set(s.e.cpu.MillisOf(uint64(m.latency.Quantile(0.95))))
+	m.latP99.Set(s.e.cpu.MillisOf(uint64(m.latency.Quantile(0.99))))
+	m.makespan.Set(st.MakespanMillis)
+	return m.reg.WritePrometheus(w)
+}

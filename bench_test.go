@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 	"testing"
 
 	"progopt/internal/core"
@@ -484,6 +485,71 @@ func TestRunParallelSteadyStateAllocs(t *testing.T) {
 		t.Errorf("Parallel.Run steady state: %.1f allocs/op, budget %d", avg, budget)
 	}
 }
+
+// benchServeConcurrent serves n simultaneous submissions of mixed shapes
+// (plain scans, a join, a sorted query; fixed and progressive modes) against
+// a fresh 4-core server per iteration, waiting from racing goroutines. At
+// -cpu 4 the scheduling rounds execute distinct queries' segments on distinct
+// host threads, so ns/op measures the host-concurrency win; sim_cycles (the
+// workload makespan) is bit-identical at every -cpu, pinning that only host
+// wall-clock changes. Feeds the BENCH_perf.json served rows (schema
+// progopt-perf/v5).
+func benchServeConcurrent(b *testing.B, n int) {
+	e, err := New(Config{VectorSize: 512, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	d, err := e.GenerateTPCH(96*512, 31, OrderRandom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var makespan uint64
+	for i := 0; i < b.N; i++ {
+		srv, err := NewServer(e, ServerConfig{MaxActive: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tks := make([]*Ticket, n)
+		for j := range tks {
+			opts := ExecOptions{Mode: ModeFixed}
+			if j%2 == 1 {
+				opts = ExecOptions{Mode: ModeProgressive, Progressive: Progressive{Interval: 5}}
+			}
+			plan := convergentPlan(d, j%3 == 1)
+			if j%4 == 3 {
+				plan = plan.OrderBy("l_extendedprice", Desc).Limit(8)
+			}
+			tk, err := srv.SubmitAt(d, plan, opts, uint64(j)*40_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tks[j] = tk
+		}
+		var wg sync.WaitGroup
+		for _, tk := range tks {
+			wg.Add(1)
+			go func(tk *Ticket) {
+				defer wg.Done()
+				if _, err := tk.Wait(); err != nil {
+					b.Error(err)
+				}
+			}(tk)
+		}
+		wg.Wait()
+		makespan = srv.Stats().MakespanCycles
+		srv.Close()
+	}
+	b.ReportMetric(float64(makespan), "sim_cycles")
+}
+
+// BenchmarkServeConcurrent4 serves four simultaneous queries — one per core.
+func BenchmarkServeConcurrent4(b *testing.B) { benchServeConcurrent(b, 4) }
+
+// BenchmarkServeConcurrent8 serves eight — queueing behind MaxActive 4.
+func BenchmarkServeConcurrent8(b *testing.B) { benchServeConcurrent(b, 8) }
 
 // --- Ablation benches (DESIGN.md, "Key design decisions") ---
 

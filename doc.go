@@ -78,8 +78,12 @@
 // clock: a fixed submission trace yields bit-identical per-query results,
 // latencies, and total makespan on every host run, at any GOMAXPROCS. A
 // query that has the pool to itself is bit-identical to Engine.Exec
-// (equivalence_test.go). cmd/progopt-serve drives seeded workload traces
-// and emits the BENCH_serve.json artifact.
+// (equivalence_test.go). Each scheduling round's query segments execute
+// concurrently on the host (their simulated core subsets are disjoint),
+// with all order-sensitive effects published at a deterministic round
+// barrier — behavior is unchanged from the serial service, rounds are just
+// faster when several queries are in flight. cmd/progopt-serve drives
+// seeded workload traces and emits the BENCH_serve.json artifact.
 //
 // # Stored tables
 //

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
@@ -39,21 +40,42 @@ import (
 type Parallel struct {
 	workers    []*Engine
 	vectorSize int
-	// Per-block scratch, reused across blocks: the coordinator serializes
-	// wave construction and merging in host time, so one set of buffers
-	// serves every RunBlock/RunBlockSubset/RunGroupBy call. WorkerCycles is
-	// NOT part of this scratch — it escapes in BlockResult and stays
-	// per-call.
-	blockCores    []int
-	blockClocks   []uint64
+	// blockCores/blockClocks are the reusable identity subset of the
+	// whole-pool entry points (RunBlock*, RunGroupBy), which always have a
+	// single driver.
+	blockCores  []int
+	blockClocks []uint64
+	// run is the default block-run context of the single-driver entry
+	// points. Drivers that execute blocks concurrently (the workload
+	// service's host-parallel scheduling rounds) allocate their own context
+	// per driver with NewBlockRun.
+	run BlockRun
+	// pool holds the persistent host worker goroutines, started lazily by
+	// the first multi-member wave (or segment fan-out) on a GOMAXPROCS > 1
+	// host and reused across blocks until Close. Guarded by poolMu for
+	// concurrent starters; readers load the atomic pointer.
+	poolMu sync.Mutex
+	pool   atomic.Pointer[hostPool]
+}
+
+// BlockRun is one driver's reusable scratch for block execution: wave slots,
+// per-core busy flags, PMU sample snapshots, and the per-call busy-cycle
+// counters. The simulation state lives in the Parallel's engines; a BlockRun
+// only buffers the coordinator-side bookkeeping of one driver, so several
+// drivers may execute blocks on one Parallel concurrently as long as each
+// uses its own BlockRun over a disjoint core subset.
+type BlockRun struct {
+	p             *Parallel
 	sampleScratch []pmu.Sample
 	waveSlots     []waveSlot
 	waveBusy      []bool
-	// pool holds the persistent host worker goroutines, started lazily by
-	// the first multi-member wave on a GOMAXPROCS > 1 host and reused across
-	// blocks until Close.
-	pool *hostPool
+	// busyScratch backs BlockResult.WorkerCycles, which therefore stays
+	// valid only until the next call on the same BlockRun.
+	busyScratch []uint64
 }
+
+// NewBlockRun returns a fresh block-run context for one concurrent driver.
+func (p *Parallel) NewBlockRun() *BlockRun { return &BlockRun{p: p} }
 
 // NewParallel builds a parallel executor with the given number of worker
 // cores, each a fresh CPU of the given profile.
@@ -76,7 +98,9 @@ func NewParallel(prof cpu.Profile, workers, vectorSize int) (*Parallel, error) {
 		}
 		ws[i] = e
 	}
-	return &Parallel{workers: ws, vectorSize: vectorSize}, nil
+	p := &Parallel{workers: ws, vectorSize: vectorSize}
+	p.run.p = p
+	return p, nil
 }
 
 // Workers returns the number of simulated cores.
@@ -127,10 +151,28 @@ func (p *Parallel) SetTrace(tracks []*trace.Track) {
 // executor on a multi-core host do not leak its goroutines. On single-
 // threaded hosts no pool is ever started and Close is a no-op.
 func (p *Parallel) Close() {
-	if p.pool != nil {
-		p.pool.close()
-		p.pool = nil
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	if hp := p.pool.Swap(nil); hp != nil {
+		hp.close()
 	}
+}
+
+// hostPoolStart returns the persistent host pool, starting it on first use.
+// Safe for concurrent callers: the first-start race is resolved under
+// poolMu, and the fast path is one atomic load.
+func (p *Parallel) hostPoolStart() *hostPool {
+	if hp := p.pool.Load(); hp != nil {
+		return hp
+	}
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	if hp := p.pool.Load(); hp != nil {
+		return hp
+	}
+	hp := newHostPool(len(p.workers))
+	p.pool.Store(hp)
+	return hp
 }
 
 // Cold flushes caches and resets predictors on every core.
@@ -212,7 +254,7 @@ func (p *Parallel) fullCores() ([]int, []uint64) {
 // boundaries.
 func (p *Parallel) RunBlockImplSum(q *Query, vecLo, vecHi int, impl ScanImpl, sum *float64) (BlockResult, error) {
 	cores, clocks := p.fullCores()
-	return p.RunBlockSubset(q, vecLo, vecHi, cores, clocks, impl, sum)
+	return p.run.RunBlockSubset(q, vecLo, vecHi, cores, clocks, impl, sum)
 }
 
 // waveSlot is one certified (core, morsel) assignment of a wave: the
@@ -267,7 +309,8 @@ func minVectorCycles(n, issueWidth int) uint64 {
 // preserves the lowest-position tie rule, because a tie with an in-flight
 // core is impossible. The first morsel that fails certification ends the
 // wave (a barrier); each core therefore carries at most one morsel per wave.
-func (p *Parallel) buildWave(cores []int, clocks []uint64, v, vecHi, nRows int, gs []*GroupBy) ([]waveSlot, int) {
+func (r *BlockRun) buildWave(cores []int, clocks []uint64, v, vecHi, nRows int, gs []*GroupBy) ([]waveSlot, int) {
+	p := r.p
 	iw := p.workers[0].CPU().Profile().IssueWidth
 	// A zone-map-skipped vector (see StorageScan) answers from metadata in
 	// zero simulated cycles, so its guaranteed minimum duration is zero:
@@ -280,11 +323,11 @@ func (p *Parallel) buildWave(cores []int, clocks []uint64, v, vecHi, nRows int, 
 	if st := p.workers[cores[0]].stor; st != nil {
 		skip = st.Skip
 	}
-	slots := p.waveSlots[:0]
-	if cap(p.waveBusy) < len(cores) {
-		p.waveBusy = make([]bool, len(cores))
+	slots := r.waveSlots[:0]
+	if cap(r.waveBusy) < len(cores) {
+		r.waveBusy = make([]bool, len(cores))
 	}
-	busy := p.waveBusy[:len(cores)]
+	busy := r.waveBusy[:len(cores)]
 	for i := range busy {
 		busy[i] = false
 	}
@@ -328,25 +371,37 @@ func (p *Parallel) buildWave(cores []int, clocks []uint64, v, vecHi, nRows int, 
 		busy[i] = true
 		v++
 	}
-	p.waveSlots = slots
+	r.waveSlots = slots
 	return slots, v
 }
 
-// hostPool holds the persistent host worker goroutines, one per simulated
-// core. Each goroutine drains its own job channel, so a wave member always
-// runs on the goroutine dedicated to its simulated core — one core's
-// simulation state is only ever touched from one goroutine at a time.
+// hostPool holds the persistent host worker goroutines: one per simulated
+// core for wave members (each drains its own job channel, so a wave member
+// always runs on the goroutine dedicated to its simulated core — one core's
+// simulation state is only ever touched from one goroutine at a time), plus
+// a separate set of segment drivers that execute whole-segment closures for
+// RunSegments. The two sets must be distinct: a segment closure itself
+// dispatches wave jobs and blocks at wave barriers, so running it on a
+// per-core wave goroutine could deadlock waiting for its own core's jobs.
 type hostPool struct {
 	jobs []chan func()
+	seg  chan func()
 }
 
 func newHostPool(n int) *hostPool {
-	hp := &hostPool{jobs: make([]chan func(), n)}
+	hp := &hostPool{jobs: make([]chan func(), n), seg: make(chan func(), n)}
 	for i := range hp.jobs {
 		ch := make(chan func(), 1)
 		hp.jobs[i] = ch
 		go func() {
 			for f := range ch {
+				f()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range hp.seg {
 				f()
 			}
 		}()
@@ -357,6 +412,60 @@ func newHostPool(n int) *hostPool {
 func (hp *hostPool) close() {
 	for _, ch := range hp.jobs {
 		close(ch)
+	}
+	close(hp.seg)
+}
+
+// RunSegments executes the given closures concurrently on the persistent
+// host pool's segment drivers and returns after all complete — the fan-out
+// primitive for the workload service's host-parallel scheduling rounds. The
+// closures must be mutually data-independent (distinct queries on disjoint
+// core subsets, each with its own BlockRun). On a single-threaded host, or
+// with a single closure, everything runs inline on the caller in slice order
+// with zero dispatch overhead. A closure panic is captured on its driver
+// goroutine and re-raised on the caller after the barrier; when several
+// members panic, the lowest slice index wins, so the surfaced failure is
+// deterministic.
+func (p *Parallel) RunSegments(fns []func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if len(fns) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for _, f := range fns {
+			f()
+		}
+		return
+	}
+	hp := p.hostPoolStart()
+	pvs := make([]any, len(fns))
+	panicked := make([]bool, len(fns))
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for i := 1; i < len(fns); i++ {
+		i, f := i, fns[i]
+		hp.seg <- func() {
+			defer func() {
+				if r := recover(); r != nil {
+					pvs[i], panicked[i] = r, true
+				}
+				wg.Done()
+			}()
+			f()
+		}
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				pvs[0], panicked[0] = r, true
+			}
+		}()
+		fns[0]()
+	}()
+	wg.Wait()
+	for i := range fns {
+		if panicked[i] {
+			panic(pvs[i])
+		}
 	}
 }
 
@@ -382,21 +491,20 @@ func (p *Parallel) runSlot(q *Query, impl ScanImpl, s *waveSlot) {
 // at the wave barrier. A member panic (e.g. an out-of-range foreign key) is
 // captured on the worker goroutine and re-raised on the coordinator after
 // the barrier.
-func (p *Parallel) runWave(q *Query, impl ScanImpl, slots []waveSlot) {
+func (r *BlockRun) runWave(q *Query, impl ScanImpl, slots []waveSlot) {
+	p := r.p
 	if len(slots) == 1 || runtime.GOMAXPROCS(0) == 1 {
 		for i := range slots {
 			p.runSlot(q, impl, &slots[i])
 		}
 		return
 	}
-	if p.pool == nil {
-		p.pool = newHostPool(len(p.workers))
-	}
+	hp := p.hostPoolStart()
 	var wg sync.WaitGroup
 	wg.Add(len(slots) - 1)
 	for i := 1; i < len(slots); i++ {
 		s := &slots[i]
-		p.pool.jobs[s.core] <- func() {
+		hp.jobs[s.core] <- func() {
 			defer func() {
 				if r := recover(); r != nil {
 					s.pv, s.panicked = r, true
@@ -445,6 +553,15 @@ func (p *Parallel) runWave(q *Query, impl ScanImpl, slots []waveSlot) {
 // contribution is reduced into BlockResult.Sum, the dedicated drivers'
 // per-block contract.
 func (p *Parallel) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clocks []uint64, impl ScanImpl, sum *float64) (BlockResult, error) {
+	return p.run.RunBlockSubset(q, vecLo, vecHi, cores, clocks, impl, sum)
+}
+
+// RunBlockSubset is the per-driver form of Parallel.RunBlockSubset: identical
+// semantics, but the coordinator-side scratch (wave slots, PMU snapshots, the
+// WorkerCycles backing array) comes from this BlockRun, so concurrent drivers
+// over disjoint core subsets do not contend.
+func (r *BlockRun) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clocks []uint64, impl ScanImpl, sum *float64) (BlockResult, error) {
+	p := r.p
 	if err := q.Validate(); err != nil {
 		return BlockResult{}, err
 	}
@@ -474,19 +591,25 @@ func (p *Parallel) RunBlockSubset(q *Query, vecLo, vecHi int, cores []int, clock
 			entryMin = cl
 		}
 	}
-	busy := make([]uint64, nw)
-	if cap(p.sampleScratch) < nw {
-		p.sampleScratch = make([]pmu.Sample, nw)
+	if cap(r.busyScratch) < nw {
+		r.busyScratch = make([]uint64, nw)
 	}
-	startSamples := p.sampleScratch[:nw]
+	busy := r.busyScratch[:nw]
+	for i := range busy {
+		busy[i] = 0
+	}
+	if cap(r.sampleScratch) < nw {
+		r.sampleScratch = make([]pmu.Sample, nw)
+	}
+	startSamples := r.sampleScratch[:nw]
 	for i, w := range cores {
 		startSamples[i] = p.workers[w].CPU().Sample()
 	}
 	var out BlockResult
 	wave := 0
 	for v := vecLo; v < vecHi; {
-		slots, nv := p.buildWave(cores, clocks, v, vecHi, n, nil)
-		p.runWave(q, impl, slots)
+		slots, nv := r.buildWave(cores, clocks, v, vecHi, n, nil)
+		r.runWave(q, impl, slots)
 		// Wave barrier: merge in ascending morsel order. Clock updates feed
 		// the next wave's scheduling; the aggregate accumulates in global
 		// vector order for a serial-identical float bit pattern.
@@ -559,10 +682,10 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 	n := q.Table.NumRows()
 	numVec := p.NumVectors(q)
 	cores, clocks := p.fullCores()
-	if cap(p.sampleScratch) < nw {
-		p.sampleScratch = make([]pmu.Sample, nw)
+	if cap(p.run.sampleScratch) < nw {
+		p.run.sampleScratch = make([]pmu.Sample, nw)
 	}
-	startSamples := p.sampleScratch[:nw]
+	startSamples := p.run.sampleScratch[:nw]
 	for w, eng := range p.workers {
 		startSamples[w] = eng.CPU().Sample()
 	}
@@ -577,8 +700,8 @@ func (p *Parallel) RunGroupBy(q *Query, gs []*GroupBy) (GroupResult, error) {
 	}
 	var out GroupResult
 	for v := 0; v < numVec; {
-		slots, nv := p.buildWave(cores, clocks, v, numVec, n, gs)
-		p.runWave(q, ImplBranching, slots)
+		slots, nv := p.run.buildWave(cores, clocks, v, numVec, n, gs)
+		p.run.runWave(q, ImplBranching, slots)
 		// Wave barrier: reduce survivor vectors in ascending morsel order, so
 		// per-key accumulation order is the global row order — identical
 		// float association to a serial run for every worker count.

@@ -7,6 +7,7 @@ import (
 
 	"progopt/internal/core"
 	"progopt/internal/exec"
+	"progopt/internal/hw/cache"
 	"progopt/internal/hw/cpu"
 	"progopt/internal/hw/pmu"
 	"progopt/internal/trace"
@@ -41,6 +42,11 @@ type Config struct {
 	// NoFuse disables the pool's fused batch kernels (see exec.Engine.SetFuse);
 	// bit-identical either way, kept as the equivalence oracle.
 	NoFuse bool
+	// SerialRounds forces every scheduling round to execute its segments
+	// serially on the host even on multi-core machines — the oracle the
+	// host-concurrent rounds are pinned bit-identical against. Simulated
+	// observables are unaffected either way; only host wall-clock changes.
+	SerialRounds bool
 }
 
 // Request is one query submission.
@@ -138,6 +144,17 @@ const (
 	stateDone
 )
 
+// segScratch is one query's reusable segment-execution scratch: the per-driver
+// block-run context plus the clock/engine/PMU snapshots a segment carries
+// between its locked begin phase and the round barrier. Recycled through the
+// server's freelist at completion, so steady-state rounds allocate nothing.
+type segScratch struct {
+	brun       *exec.BlockRun
+	clocks     []uint64
+	engines    []*exec.Engine
+	coordStart []pmu.Sample
+}
+
 // query is the scheduler's per-submission state.
 type query struct {
 	seq      int
@@ -147,6 +164,13 @@ type query struct {
 	warmImpl exec.ScanImpl
 	step     *core.BlockStepper // nil for fixed-order and grouped queries
 
+	// optReal/optStage stage the optimizer trace: the stepper writes its
+	// decision events into the private stage, and the round barrier splices
+	// the stage into the real track in active order — the exact append order
+	// the serial scheduler produces, even when segments ran host-concurrent.
+	optReal  *trace.Track
+	optStage *trace.Track
+
 	// sorts holds the per-pool-core sort collectors of an ordered query
 	// (indexed by core id; attached to the subset's engines per segment).
 	sorts  []*exec.SortRun
@@ -154,6 +178,24 @@ type query struct {
 
 	numVec, cursor int
 	cores          []int // current core subset, ascending; empty = descheduled
+
+	// Segment-execution plumbing: sc is the recycled scratch, fn the
+	// prebuilt closure the host pool runs (allocated once per query), and
+	// segErr/segPanic carry the unlocked phase's failure to the barrier.
+	sc          *segScratch
+	fn          func()
+	segErr      error
+	segPanic    any
+	segPanicked bool
+	// finished/finDone mark a segment that completed its query; the barrier
+	// turns them into finishLocked under the lock.
+	finished bool
+	finDone  uint64
+
+	// cond parks Ticket.Wait callers while another waiter drives rounds;
+	// waiters counts sleepers for the driver handoff.
+	cond    *sync.Cond
+	waiters int
 
 	startSet             bool
 	arrival, start, done uint64
@@ -183,9 +225,16 @@ func (q *query) grouped() bool { return len(q.req.Groups) > 0 }
 // exactly like a dedicated engine run.
 //
 // There is no background goroutine and no host time anywhere: Ticket.Wait
-// drives scheduling rounds under the server lock, so a fixed submission
-// trace yields bit-identical results, latencies, and makespan on every run,
-// from any number of waiting goroutines, at any GOMAXPROCS.
+// elects one waiter to drive scheduling rounds while the others park on
+// per-ticket condition variables. Within a round the elected driver releases
+// the lock and executes the scheduled queries' segments concurrently on the
+// host (their core subsets are disjoint, so segments share no simulated
+// state); every cross-query structure — the clock frontier, the feedback
+// cache, admission stats, the service and optimizer trace tracks — is read
+// in the locked admission phase and written at the locked round barrier, in
+// admission order. A fixed submission trace therefore yields bit-identical
+// results, latencies, and makespan on every run, from any number of waiting
+// goroutines, at any GOMAXPROCS — only host wall-clock changes.
 type Server struct {
 	mu   sync.Mutex
 	pool *exec.Parallel
@@ -195,12 +244,34 @@ type Server struct {
 	clock []uint64 // absolute simulated time each core is next free
 	owner []*query // query each core last executed (cold-switch detection)
 
+	// pubClock is the round-barrier-published copy of clock: Stats and Now
+	// read it without waiting on an in-flight round.
+	pubClock []uint64
+
 	queue  []*query // waiting, sorted by (arrival, seq)
 	active []*query // admitted, in admission order
 	seq    int
 	rounds uint64
 
 	membershipChanged bool
+
+	// driving is true while an elected waiter runs a scheduling round; the
+	// lock itself is released during the round's execution phase, so
+	// operations that would touch engine state (BindQuery, SetTrace, Close)
+	// park on idle until the round retires.
+	driving bool
+	idle    *sync.Cond
+
+	// Round scratch, reused every round so steady-state serving allocates
+	// nothing: sched is the round's scheduled-query snapshot, fns the
+	// segment closures handed to the host pool, doneRound the queries whose
+	// waiters need waking, scratchFree the segScratch freelist, and storSeen
+	// the shared-storage-set detector's map.
+	sched       []*query
+	fns         []func()
+	doneRound   []*query
+	scratchFree []*segScratch
+	storSeen    map[*cache.StorageSet]*query
 
 	feedback *LRU
 	stats    Stats
@@ -233,15 +304,18 @@ func New(prof cpu.Profile, workers, vectorSize int, scalar bool, cfg Config) (*S
 	if cfg.FeedbackCacheSize <= 0 {
 		cfg.FeedbackCacheSize = 64
 	}
-	return &Server{
+	s := &Server{
 		pool:              p,
 		prof:              prof,
 		cfg:               cfg,
 		clock:             make([]uint64, workers),
 		owner:             make([]*query, workers),
+		pubClock:          make([]uint64, workers),
 		membershipChanged: true,
 		feedback:          NewLRU(cfg.FeedbackCacheSize),
-	}, nil
+	}
+	s.idle = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // Workers returns the pool size.
@@ -255,6 +329,9 @@ func (s *Server) Workers() int { return s.pool.Workers() }
 func (s *Server) SetTrace(svc *trace.Track, cores []*trace.Track) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for s.driving {
+		s.idle.Wait()
+	}
 	s.tr = svc
 	s.pool.SetTrace(cores)
 }
@@ -262,23 +339,34 @@ func (s *Server) SetTrace(svc *trace.Track, cores []*trace.Track) {
 // Close releases the pool's host worker goroutines, if any were started
 // (multi-core hosts only; see exec.Parallel.Close). The server must be
 // drained first.
-func (s *Server) Close() { s.pool.Close() }
+func (s *Server) Close() {
+	s.mu.Lock()
+	for s.driving {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+	s.pool.Close()
+}
 
 // BindQuery binds a query's columns through the pool's address space (no-op
 // for columns an engine already bound).
 func (s *Server) BindQuery(q *exec.Query) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for s.driving {
+		s.idle.Wait()
+	}
 	return s.pool.BindQuery(q)
 }
 
 // Now returns the earliest simulated time any core can take new work — the
-// default arrival stamp for submissions that do not carry one.
+// default arrival stamp for submissions that do not carry one. Reads the
+// round-barrier-published clock, so it never waits on an in-flight round.
 func (s *Server) Now() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	min := s.clock[0]
-	for _, cl := range s.clock[1:] {
+	min := s.pubClock[0]
+	for _, cl := range s.pubClock[1:] {
 		if cl < min {
 			min = cl
 		}
@@ -286,12 +374,13 @@ func (s *Server) Now() uint64 {
 	return min
 }
 
-// Stats snapshots the server counters.
+// Stats snapshots the server counters. Reads the round-barrier-published
+// clock, so it never waits on an in-flight round.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	for _, cl := range s.clock {
+	for _, cl := range s.pubClock {
 		if cl > st.MakespanCycles {
 			st.MakespanCycles = cl
 		}
@@ -380,28 +469,107 @@ func modeName(m Mode) string {
 }
 
 // Wait drives scheduling rounds until the ticket's query completes and
-// returns its outcome. Safe to call from any goroutine; rounds run under
-// the server lock, so concurrent waiters take turns advancing the same
-// deterministic simulation.
+// returns its outcome. Safe to call from any goroutine: one waiter is
+// elected to drive each round while the others park on their tickets'
+// condition variables, so the simulation advances exactly once per round
+// no matter how many goroutines wait — and which goroutine happens to drive
+// cannot influence any simulated observable.
 func (t *Ticket) Wait() (Outcome, error) {
 	s := t.s
+	q := t.q
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for t.q.state != stateDone {
-		if err := s.roundLocked(); err != nil {
-			s.failAllLocked(err)
+	for q.state != stateDone {
+		if s.driving {
+			if q.cond == nil {
+				q.cond = sync.NewCond(&s.mu)
+			}
+			q.waiters++
+			q.cond.Wait()
+			q.waiters--
+			continue
+		}
+		s.driving = true
+		completed := false
+		func() {
+			defer func() {
+				s.driving = false
+				s.idle.Broadcast()
+				if completed {
+					s.wakeDoneLocked()
+				} else {
+					// A panic escaped the round; wake every waiter so no
+					// goroutine parks forever behind the poisoned server.
+					s.wakeAllLocked()
+				}
+			}()
+			if err := s.driveRound(); err != nil {
+				s.failAllLocked(err)
+			}
+			completed = true
+		}()
+	}
+	s.handoffLocked()
+	if q.err != nil {
+		return Outcome{}, q.err
+	}
+	return q.outcome(), nil
+}
+
+// wakeDoneLocked wakes the waiters of every query that completed (or failed)
+// during the round that just retired.
+func (s *Server) wakeDoneLocked() {
+	for i, q := range s.doneRound {
+		if q.cond != nil {
+			q.cond.Broadcast()
+		}
+		s.doneRound[i] = nil
+	}
+	s.doneRound = s.doneRound[:0]
+}
+
+// wakeAllLocked wakes every parked waiter (panic path).
+func (s *Server) wakeAllLocked() {
+	for _, q := range s.active {
+		if q.cond != nil {
+			q.cond.Broadcast()
 		}
 	}
-	if t.q.err != nil {
-		return Outcome{}, t.q.err
+	for _, q := range s.queue {
+		if q.cond != nil {
+			q.cond.Broadcast()
+		}
 	}
-	return t.q.outcome(), nil
+	s.doneRound = s.doneRound[:0]
+}
+
+// handoffLocked hands the driver role to a parked waiter when a Wait call
+// returns: if nobody is driving and some ticket still has sleepers, one is
+// signalled so it can wake up, observe driving == false, and take over.
+func (s *Server) handoffLocked() {
+	if s.driving {
+		return
+	}
+	for _, q := range s.active {
+		if q.waiters > 0 && q.cond != nil {
+			q.cond.Signal()
+			return
+		}
+	}
+	for _, q := range s.queue {
+		if q.waiters > 0 && q.cond != nil {
+			q.cond.Signal()
+			return
+		}
+	}
 }
 
 // WarmStarted reports whether the submission began at a feedback-cached
 // order, and that order. The decision is made when the admission controller
 // activates the query (the latest point the feedback of completed runs is
-// visible), so it reads false until then.
+// visible), so it reads false until then. Admission happens under the lock
+// at the start of a round, so this never waits on an in-flight round's
+// execution phase.
 func (t *Ticket) WarmStarted() (bool, []int) {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
@@ -434,23 +602,37 @@ func (q *query) outcome() Outcome {
 }
 
 // failAllLocked marks every unfinished query failed — scheduler errors
-// (estimator failures, invalid permutations) poison the shared simulation.
+// (estimator failures, invalid permutations) poison the shared simulation —
+// and wakes all their waiters.
 func (s *Server) failAllLocked(err error) {
 	for _, q := range s.active {
 		q.err = err
 		q.state = stateDone
+		if q.cond != nil {
+			q.cond.Broadcast()
+		}
 	}
 	for _, q := range s.queue {
 		q.err = err
 		q.state = stateDone
+		if q.cond != nil {
+			q.cond.Broadcast()
+		}
 	}
 	s.active = s.active[:0]
 	s.queue = s.queue[:0]
 }
 
-// roundLocked runs one scheduling round: admit, partition, and advance every
-// scheduled query by one segment.
-func (s *Server) roundLocked() error {
+// driveRound runs one scheduling round. Called (and returns) with s.mu held;
+// the lock is released during the execution phase, in which the scheduled
+// queries' segments run concurrently on the host via the pool's segment
+// drivers — or serially, in admission order, when the round's queries share
+// a storage-tier set (whose LRU order must follow the serial schedule) or
+// Config.SerialRounds demands the oracle path. Both paths retire at the same
+// locked barrier, which publishes clocks, completes finished queries, and
+// splices staged optimizer traces in admission order — so every simulated
+// observable is a pure function of the submission trace.
+func (s *Server) driveRound() error {
 	s.admitLocked()
 	if len(s.active) == 0 {
 		return fmt.Errorf("service: scheduler round with no admissible work")
@@ -458,14 +640,37 @@ func (s *Server) roundLocked() error {
 	if s.membershipChanged || len(s.active) > len(s.clock) {
 		s.partitionLocked()
 	}
-	snapshot := append([]*query(nil), s.active...)
-	for _, q := range snapshot {
+	s.sched = s.sched[:0]
+	for _, q := range s.active {
 		if len(q.cores) == 0 {
 			continue
 		}
-		if err := s.segmentLocked(q); err != nil {
-			return err
+		s.segmentBeginLocked(q)
+		s.sched = append(s.sched, q)
+	}
+	serial := s.cfg.SerialRounds || s.sharedStorageLocked()
+	s.mu.Unlock()
+	relocked := false
+	defer func() {
+		if !relocked {
+			s.mu.Lock()
 		}
+	}()
+	if serial {
+		for _, q := range s.sched {
+			s.segmentRun(q)
+		}
+	} else {
+		s.fns = s.fns[:0]
+		for _, q := range s.sched {
+			s.fns = append(s.fns, q.fn)
+		}
+		s.pool.RunSegments(s.fns)
+	}
+	s.mu.Lock()
+	relocked = true
+	if err := s.barrierLocked(); err != nil {
+		return err
 	}
 	kept := s.active[:0]
 	for _, q := range s.active {
@@ -478,6 +683,47 @@ func (s *Server) roundLocked() error {
 	s.active = kept
 	s.rounds++
 	return nil
+}
+
+// sharedStorageLocked reports whether two scheduled queries would touch the
+// same storage-tier set this round. The tier's LRU is ordered by fetch
+// sequence, so a set reachable from two concurrent segments would resolve
+// its residency by host arrival order; such rounds fall back to serial
+// execution (per-core sets attached by at most one query are fine — core
+// subsets are disjoint).
+func (s *Server) sharedStorageLocked() bool {
+	if len(s.sched) < 2 {
+		return false
+	}
+	stored := 0
+	for _, q := range s.sched {
+		if q.req.Storage != nil {
+			stored++
+		}
+	}
+	if stored < 2 {
+		return false
+	}
+	if s.storSeen == nil {
+		s.storSeen = make(map[*cache.StorageSet]*query)
+	}
+	clear(s.storSeen)
+	for _, q := range s.sched {
+		if q.req.Storage == nil {
+			continue
+		}
+		for _, w := range q.cores {
+			set := q.req.Storage[w].Set
+			if set == nil {
+				continue
+			}
+			if o, ok := s.storSeen[set]; ok && o != q {
+				return true
+			}
+			s.storSeen[set] = q
+		}
+	}
+	return false
 }
 
 // admitLocked moves queued queries into the active set up to MaxActive,
@@ -516,6 +762,7 @@ func (s *Server) admitLocked() {
 		if err := s.prepareLocked(head); err != nil {
 			head.err = err
 			head.state = stateDone
+			s.doneRound = append(s.doneRound, head)
 			continue
 		}
 		head.state = stateActive
@@ -544,8 +791,10 @@ func (s *Server) admitLocked() {
 // prepareLocked readies a query for execution at admission time: consult
 // the feedback cache — admission, not submission, is when the latest
 // completed run of the same fingerprint is visible, exactly like a real
-// server racing recurring queries — apply the warm-start order, and build
-// the optimizer stepper for adaptive modes.
+// server racing recurring queries — apply the warm-start order, build the
+// optimizer stepper for adaptive modes (writing its trace into a private
+// stage the round barrier splices), and hand the query its recycled
+// segment scratch.
 func (s *Server) prepareLocked(q *query) error {
 	req := q.req
 	base := req.Query
@@ -569,7 +818,13 @@ func (s *Server) prepareLocked(q *query) error {
 		}
 	}
 	if req.Mode == ModeProgressive || req.Mode == ModeMicroAdaptive {
-		step, err := core.NewBlockStepper(base, s.prof, s.pool.Workers(), req.Mode == ModeMicroAdaptive, req.Opt)
+		opt := req.Opt
+		if opt.Trace != nil {
+			q.optReal = opt.Trace
+			q.optStage = trace.NewStage()
+			opt.Trace = q.optStage
+		}
+		step, err := core.NewBlockStepper(base, s.prof, s.pool.Workers(), req.Mode == ModeMicroAdaptive, opt)
 		if err != nil {
 			return err
 		}
@@ -578,6 +833,14 @@ func (s *Server) prepareLocked(q *query) error {
 		}
 		q.step = step
 	}
+	if n := len(s.scratchFree); n > 0 {
+		q.sc = s.scratchFree[n-1]
+		s.scratchFree[n-1] = nil
+		s.scratchFree = s.scratchFree[:n-1]
+	} else {
+		q.sc = &segScratch{brun: s.pool.NewBlockRun()}
+	}
+	q.fn = func() { s.segmentRun(q) }
 	return nil
 }
 
@@ -620,15 +883,20 @@ func (s *Server) partitionLocked() {
 	}
 }
 
-// segmentLocked advances one query by one segment on its current subset.
-func (s *Server) segmentLocked(q *query) error {
+// segmentBeginLocked is the locked prologue of one query's segment: resolve
+// cold context switches, clamp the subset's clocks to the arrival, attach
+// the query's sort collectors and tier views to its cores, and snapshot the
+// subset's entry clocks into the query's scratch. Everything the unlocked
+// execution phase touches afterwards is owned by this query alone.
+func (s *Server) segmentBeginLocked(q *query) {
 	// Cold context switch: a core picking up a different query than it last
 	// ran flushes its caches and resets its predictor (per-query JIT'd scan
 	// loops share no code or hot data), and a core can never run a query
 	// before it arrived.
+	engines := s.pool.Engines()
 	for _, w := range q.cores {
 		if s.owner[w] != q {
-			c := s.pool.Engines()[w].CPU()
+			c := engines[w].CPU()
 			c.FlushCaches()
 			c.ResetPredictor()
 			s.owner[w] = q
@@ -638,50 +906,101 @@ func (s *Server) segmentLocked(q *query) error {
 		}
 	}
 	// An ordered query's collectors ride along on whichever cores this
-	// segment runs on; they are detached afterwards because the partitioner
-	// may hand the same cores to a different query next round.
+	// segment runs on; they are detached at the barrier because the
+	// partitioner may hand the same cores to a different query next round.
 	if q.sorts != nil {
-		engines := s.pool.Engines()
 		for _, w := range q.cores {
 			engines[w].SetSortRun(q.sorts[w])
 		}
-		defer func() {
-			for _, w := range q.cores {
-				engines[w].SetSortRun(nil)
-			}
-		}()
 	}
-	// A stored query's tier views ride along the same way: attached to the
-	// segment's cores, detached before the partitioner can hand those cores
-	// to a different query.
+	// A stored query's tier views ride along the same way.
 	if q.req.Storage != nil {
-		engines := s.pool.Engines()
 		for _, w := range q.cores {
 			engines[w].SetStorage(q.req.Storage[w])
 		}
-		defer func() {
-			for _, w := range q.cores {
-				engines[w].SetStorage(nil)
-			}
-		}()
 	}
+	sc := q.sc
+	if cap(sc.clocks) < len(q.cores) {
+		sc.clocks = make([]uint64, len(q.cores))
+	}
+	sc.clocks = sc.clocks[:len(q.cores)]
+	for i, w := range q.cores {
+		sc.clocks[i] = s.clock[w]
+	}
+	q.segErr = nil
+	q.segPanic, q.segPanicked = nil, false
+}
+
+// segmentRun executes one query's segment without the server lock: it
+// touches only the query's own cores, scratch, and staged trace. Failures
+// are parked on the query for the barrier, so every scheduled segment runs
+// to its own completion or failure and the barrier surfaces the first one
+// in admission order — deterministically, regardless of host interleaving.
+func (s *Server) segmentRun(q *query) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.segPanic, q.segPanicked = r, true
+		}
+	}()
 	switch {
 	case q.grouped():
-		return s.segmentGrouped(q)
+		q.segErr = s.segmentGrouped(q)
 	case q.step != nil:
-		return s.segmentAdaptive(q)
+		q.segErr = s.segmentAdaptive(q)
 	default:
-		return s.segmentFixed(q)
+		q.segErr = s.segmentFixed(q)
 	}
 }
 
-// finalizeSortLocked runs the sort merge of a completed ordered query on
-// the first core of its final subset: the subset barriers at bar (every
-// core must finish scanning before its partial state is readable), the
+// barrierLocked retires the round: in admission order, surface failures,
+// publish each segment's end clocks into the shared frontier, complete
+// finished queries (stats, feedback, service-track span), and splice each
+// query's staged optimizer events into the real track — the same per-track
+// append order the fully serial scheduler produces. Finally the frontier is
+// published for lock-free-in-spirit Stats/Now readers.
+func (s *Server) barrierLocked() error {
+	engines := s.pool.Engines()
+	for _, q := range s.sched {
+		if q.sorts != nil {
+			for _, w := range q.cores {
+				engines[w].SetSortRun(nil)
+			}
+		}
+		if q.req.Storage != nil {
+			for _, w := range q.cores {
+				engines[w].SetStorage(nil)
+			}
+		}
+	}
+	for _, q := range s.sched {
+		if q.segPanicked {
+			panic(q.segPanic)
+		}
+		if q.segErr != nil {
+			return q.segErr
+		}
+		for i, w := range q.cores {
+			s.clock[w] = q.sc.clocks[i]
+		}
+		if q.finished {
+			q.finished = false
+			s.finishLocked(q, q.finDone)
+		}
+		if q.optStage != nil {
+			q.optReal.Splice(q.optStage)
+		}
+	}
+	copy(s.pubClock, s.clock)
+	return nil
+}
+
+// finalizeSort runs the sort merge of a completed ordered query on the
+// first core of its final subset: the subset barriers at bar (every core
+// must finish scanning before its partial state is readable), the
 // coordinator merges and emits, and every subset clock advances to the
 // merge's end — the same makespan-extension contract as the grouped
 // aggregation's table merge and the dedicated Engine.Exec path.
-func (s *Server) finalizeSortLocked(q *query, bar uint64) uint64 {
+func (s *Server) finalizeSort(q *query, bar uint64) uint64 {
 	w0 := q.cores[0]
 	c := s.pool.Engines()[w0].CPU()
 	s0 := c.Sample()
@@ -690,8 +1009,8 @@ func (s *Server) finalizeSortLocked(q *query, bar uint64) uint64 {
 	d := c.Cycles() - c0
 	q.counters = q.counters.Add(c.Sample().Sub(s0))
 	t1 := bar + d
-	for _, w := range q.cores {
-		s.clock[w] = t1
+	for i := range q.sc.clocks {
+		q.sc.clocks[i] = t1
 	}
 	return t1
 }
@@ -701,18 +1020,15 @@ func (s *Server) finalizeSortLocked(q *query, bar uint64) uint64 {
 // clocks carried across segments — so an uninterrupted run is one seamless
 // morsel stream, exactly a dedicated Parallel.Run.
 func (s *Server) segmentFixed(q *query) error {
+	sc := q.sc
 	v1 := q.cursor + s.cfg.QuantumVectors*len(q.cores)
 	if v1 > q.numVec {
 		v1 = q.numVec
 	}
-	clocks := make([]uint64, len(q.cores))
-	for i, w := range q.cores {
-		clocks[i] = s.clock[w]
-	}
 	if !q.startSet {
 		q.startSet = true
-		q.start = clocks[0]
-		for _, cl := range clocks[1:] {
+		q.start = sc.clocks[0]
+		for _, cl := range sc.clocks[1:] {
 			if cl < q.start {
 				q.start = cl
 			}
@@ -720,29 +1036,26 @@ func (s *Server) segmentFixed(q *query) error {
 	}
 	// Accumulate the aggregate directly into q.sum so splitting the scan
 	// into quanta keeps the exact float addition order of a dedicated run.
-	br, err := s.pool.RunBlockSubset(q.base, q.cursor, v1, q.cores, clocks, exec.ImplBranching, &q.sum)
+	br, err := sc.brun.RunBlockSubset(q.base, q.cursor, v1, q.cores, sc.clocks, exec.ImplBranching, &q.sum)
 	if err != nil {
 		return err
-	}
-	for i, w := range q.cores {
-		s.clock[w] = clocks[i]
 	}
 	q.counters = q.counters.Add(br.Counters)
 	q.qual += br.Qualifying
 	q.vectors += br.Vectors
 	q.cursor = v1
 	if q.cursor == q.numVec {
-		done := s.clock[q.cores[0]]
-		for _, w := range q.cores[1:] {
-			if s.clock[w] > done {
-				done = s.clock[w]
+		done := sc.clocks[0]
+		for _, cl := range sc.clocks[1:] {
+			if cl > done {
+				done = cl
 			}
 		}
 		if q.sorts != nil {
-			done = s.finalizeSortLocked(q, done)
+			done = s.finalizeSort(q, done)
 		}
 		q.busy = done - q.start
-		s.finishLocked(q, done)
+		q.finished, q.finDone = true, done
 	}
 	return nil
 }
@@ -753,10 +1066,11 @@ func (s *Server) segmentFixed(q *query) error {
 // coordinator — the same per-block protocol as the dedicated parallel
 // drivers, so a lone query reproduces Engine.Exec cycle for cycle.
 func (s *Server) segmentAdaptive(q *query) error {
+	sc := q.sc
 	var t0 uint64
-	for _, w := range q.cores {
-		if s.clock[w] > t0 {
-			t0 = s.clock[w]
+	for _, cl := range sc.clocks {
+		if cl > t0 {
+			t0 = cl
 		}
 	}
 	if !q.startSet {
@@ -774,19 +1088,22 @@ func (s *Server) segmentAdaptive(q *query) error {
 	if v1 > q.numVec {
 		v1 = q.numVec
 	}
-	clocks := make([]uint64, len(q.cores))
-	for i := range clocks {
-		clocks[i] = t0
+	for i := range sc.clocks {
+		sc.clocks[i] = t0
 	}
 	// The external accumulator mirrors the dedicated adaptive drivers'
 	// block loop bit for bit: per-vector addition order into q.sum,
 	// regardless of block or scheduling-quantum boundaries.
-	br, err := s.pool.RunBlockSubset(q.step.Query(), q.cursor, v1, q.cores, clocks, q.step.Impl(), &q.sum)
+	br, err := sc.brun.RunBlockSubset(q.step.Query(), q.cursor, v1, q.cores, sc.clocks, q.step.Impl(), &q.sum)
 	if err != nil {
 		return err
 	}
-	engines := make([]*exec.Engine, len(q.cores))
-	coordStart := make([]pmu.Sample, len(q.cores))
+	if cap(sc.engines) < len(q.cores) {
+		sc.engines = make([]*exec.Engine, len(q.cores))
+		sc.coordStart = make([]pmu.Sample, len(q.cores))
+	}
+	engines := sc.engines[:len(q.cores)]
+	coordStart := sc.coordStart[:len(q.cores)]
 	for i, w := range q.cores {
 		engines[i] = s.pool.Engines()[w]
 		coordStart[i] = engines[i].CPU().Sample()
@@ -807,8 +1124,8 @@ func (s *Server) segmentAdaptive(q *query) error {
 		q.counters = q.counters.Add(e.CPU().Sample().Sub(coordStart[i]))
 	}
 	t1 := t0 + br.MaxCycles + extra
-	for _, w := range q.cores {
-		s.clock[w] = t1
+	for i := range sc.clocks {
+		sc.clocks[i] = t1
 	}
 	q.busy += br.MaxCycles + extra
 	q.qual += br.Qualifying
@@ -817,10 +1134,10 @@ func (s *Server) segmentAdaptive(q *query) error {
 	if last {
 		if q.sorts != nil {
 			t0 := t1
-			t1 = s.finalizeSortLocked(q, t1)
+			t1 = s.finalizeSort(q, t1)
 			q.busy += t1 - t0
 		}
-		s.finishLocked(q, t1)
+		q.finished, q.finDone = true, t1
 	}
 	return nil
 }
@@ -830,10 +1147,11 @@ func (s *Server) segmentAdaptive(q *query) error {
 // run the morsel-driven partial-table aggregation, and advance every clock
 // by its makespan.
 func (s *Server) segmentGrouped(q *query) error {
+	sc := q.sc
 	var t0 uint64
-	for _, w := range q.cores {
-		if s.clock[w] > t0 {
-			t0 = s.clock[w]
+	for _, cl := range sc.clocks {
+		if cl > t0 {
+			t0 = cl
 		}
 	}
 	q.startSet = true
@@ -848,16 +1166,17 @@ func (s *Server) segmentGrouped(q *query) error {
 	q.groups = res.Groups
 	q.busy = res.Cycles
 	t1 := t0 + res.Cycles
-	for _, w := range q.cores {
-		s.clock[w] = t1
+	for i := range sc.clocks {
+		sc.clocks[i] = t1
 	}
-	s.finishLocked(q, t1)
+	q.finished, q.finDone = true, t1
 	return nil
 }
 
 // finishLocked completes a query: stamp times, snapshot optimizer stats
-// (FinalOrder mapped back to plan-order indexes after a warm start), and
-// deposit the converged order in the feedback cache.
+// (FinalOrder mapped back to plan-order indexes after a warm start), deposit
+// the converged order in the feedback cache, recycle the segment scratch,
+// and queue the waiter wake-up.
 func (s *Server) finishLocked(q *query, done uint64) {
 	q.done = done
 	q.state = stateDone
@@ -881,6 +1200,11 @@ func (s *Server) finishLocked(q *query, done uint64) {
 			s.stats.FeedbackStores++
 		}
 	}
+	if q.sc != nil {
+		s.scratchFree = append(s.scratchFree, q.sc)
+		q.sc = nil
+	}
+	s.doneRound = append(s.doneRound, q)
 	s.stats.Completed++
 	if s.tr != nil {
 		s.tr.Span("query", q.start, done,

@@ -106,6 +106,33 @@ func (t *Track) add(ev Event) {
 	t.events = append(t.events, ev)
 }
 
+// NewStage returns a standalone staging track: a buffer that belongs to no
+// recorder and never exports. A writer that would otherwise interleave with
+// other writers on a shared track (a served query's optimizer decisions
+// during a host-concurrent scheduling round) records into its own stage and
+// the coordinator Splices the stages into the real track at a deterministic
+// barrier, in a deterministic order.
+func NewStage() *Track { return &Track{name: "stage", limit: DefaultMaxEventsPerTrack} }
+
+// Splice appends every event of src to t, in src's append order, and resets
+// src for reuse. Nil-safe on both ends: a nil t discards src's events (the
+// disabled destination), a nil src is a no-op. Drop accounting carries over:
+// events src already dropped stay dropped, and events t has no room for are
+// dropped by t's own limit.
+func (t *Track) Splice(src *Track) {
+	if src == nil {
+		return
+	}
+	if t != nil {
+		for _, ev := range src.events {
+			t.add(ev)
+		}
+		t.dropped += src.dropped
+	}
+	src.events = src.events[:0]
+	src.dropped = 0
+}
+
 // DefaultMaxEventsPerTrack bounds a track's buffer when the recorder was not
 // given an explicit limit; generous enough for every in-repo workload while
 // keeping a runaway loop from exhausting host memory.

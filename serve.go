@@ -31,6 +31,12 @@ type ServerConfig struct {
 	// order; nothing is stored) — the cold baseline of the ext-serve
 	// experiment.
 	DisableFeedback bool
+	// SerialRounds forces each scheduling round to execute its queries'
+	// segments serially on the host instead of concurrently — the oracle
+	// path the host-concurrent scheduler is pinned bit-identical against.
+	// Simulated results, latencies, traces, and metrics are unaffected;
+	// only host wall-clock changes.
+	SerialRounds bool
 }
 
 // ServerStats counts server activity since construction.
@@ -104,6 +110,14 @@ type Server struct {
 	planMisses      int
 	disableFeedback bool
 
+	// subSeq numbers submissions; resDone/resSeq stamp the stored query whose
+	// residency the resident gauge currently reports, so racing waiters
+	// publish the gauge in simulated completion order (ties to the later
+	// submission), not host completion order.
+	subSeq, resSeq uint64
+	resDone        uint64
+	resSet         bool
+
 	// met is the server's simulated-time metrics registry, always on (see
 	// WriteMetrics); metrics are host-side bookkeeping and perturb nothing.
 	met *serverMetrics
@@ -163,6 +177,7 @@ func NewServer(e *Engine, cfg ServerConfig) (*Server, error) {
 		QuantumVectors:    cfg.QuantumVectors,
 		FeedbackCacheSize: cfg.FeedbackCacheSize,
 		NoFuse:            !e.eng.Fused(),
+		SerialRounds:      cfg.SerialRounds,
 	})
 	if err != nil {
 		return nil, err
@@ -199,6 +214,10 @@ type Ticket struct {
 	// submission, so plan-cache sharing never shares residency); nil for
 	// in-RAM engines.
 	stviews []*exec.StorageScan
+	// seq is the submission's position in program submission order; it
+	// tie-breaks the resident gauge when two stored queries complete at the
+	// same simulated cycle.
+	seq uint64
 }
 
 // Query returns the compiled query the server executes for this submission
@@ -269,10 +288,12 @@ func (s *Server) SubmitAt(d *Dataset, p *Plan, opts ExecOptions, arrival uint64)
 		Fingerprint: fp,
 		NoFeedback:  s.disableFeedback,
 	}
-	// Served steppers share the engine's optimizer track: the scheduler
-	// advances queries one block at a time under its lock, so decision
-	// events from concurrent queries interleave deterministically (each
-	// stamped with its own query's accounted block clock).
+	// Served steppers share the engine's optimizer track: each query's
+	// stepper records decisions into a private stage and the scheduler
+	// splices the stages into this track at the round barrier in admission
+	// order, so decision events from concurrent queries interleave
+	// deterministically (each stamped with its own query's accounted block
+	// clock) even when segments execute host-parallel.
 	req.Opt.Trace = s.e.optTrack()
 	if q.group != nil {
 		req.Groups = q.group.tables
@@ -292,10 +313,14 @@ func (s *Server) SubmitAt(d *Dataset, p *Plan, opts ExecOptions, arrival uint64)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	s.subSeq++
+	seq := s.subSeq
+	s.mu.Unlock()
 	// Warm-start provenance is decided when the admission controller
 	// activates the query; Wait refreshes it.
 	q.served.Store(&servedProvenance{fingerprint: fp.String(), planCacheHit: hit})
-	return &Ticket{s: s, t: tk, q: q, fp: fp, planHit: hit, stviews: stviews}, nil
+	return &Ticket{s: s, t: tk, q: q, fp: fp, planHit: hit, stviews: stviews, seq: seq}, nil
 }
 
 // Close releases the host worker goroutines of the server's core pool, if
@@ -368,7 +393,16 @@ func (t *Ticket) Wait() (ExecResult, error) {
 				res += v.Set.ResidentBytes()
 			}
 		}
-		t.s.met.resident.Set(float64(res))
+		// The gauge reports the most recent stored query on the *simulated*
+		// clock (ties to the later submission), so racing waiters publish it
+		// deterministically regardless of host completion order.
+		s := t.s
+		s.mu.Lock()
+		if !s.resSet || o.Done > s.resDone || (o.Done == s.resDone && t.seq > s.resSeq) {
+			s.resSet, s.resDone, s.resSeq = true, o.Done, t.seq
+			s.met.resident.Set(float64(res))
+		}
+		s.mu.Unlock()
 	}
 	out.Served = &ServedInfo{
 		Arrival:       o.Arrival,

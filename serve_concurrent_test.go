@@ -1,0 +1,398 @@
+package progopt
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"progopt/internal/exec"
+	"progopt/internal/hw/cache"
+	"progopt/internal/service"
+	"progopt/internal/trace"
+)
+
+// The host-concurrency acceptance criterion: a scheduling round that executes
+// its queries' segments concurrently on the host is bit-identical — per-query
+// results, simulated cycles, every PMU counter, trace bytes, Prometheus
+// metrics — to the serial-round service (ServerConfig.SerialRounds), across
+// Workers {1,4} × GOMAXPROCS {1,4} × the three exec modes × plain/stored/
+// traced variants, with waits racing on goroutines.
+
+// serveMatrixObs is everything one served workload reports that must match
+// the serial oracle bit for bit.
+type serveMatrixObs struct {
+	Results []ExecResult
+	Stats   ServerStats
+	Metrics string
+	Trace   string
+}
+
+// runServeMatrix serves a fixed eight-query trace — all three exec modes, a
+// join, a sorted query, a grouped query, recurring fingerprints, staggered
+// arrivals — and waits from racing goroutines.
+func runServeMatrix(t *testing.T, workers int, variant string, serial bool) serveMatrixObs {
+	t.Helper()
+	cfg := Config{VectorSize: 512, Workers: workers}
+	switch variant {
+	case "stored":
+		cfg.Storage = &StorageConfig{LatencyCycles: 500, BytesPerCycle: 16}
+	case "traced":
+		cfg.Trace = &TraceOptions{}
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d, err := e.GenerateTPCH(48*512, 31, OrderRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(e, ServerConfig{MaxActive: 3, SerialRounds: serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	adaptive := Progressive{Interval: 5}
+	subs := []struct {
+		plan *Plan
+		opts ExecOptions
+	}{
+		{convergentPlan(d, false), ExecOptions{Mode: ModeFixed}},
+		{convergentPlan(d, true), ExecOptions{Mode: ModeProgressive, Progressive: adaptive}},
+		{convergentPlan(d, false), ExecOptions{Mode: ModeMicroAdaptive, Progressive: adaptive}},
+		{convergentPlan(d, false).OrderBy("l_extendedprice", Desc).Limit(8),
+			ExecOptions{Mode: ModeProgressive, Progressive: adaptive}},
+		{Scan("lineitem").
+			Filter("l_shipdate", CmpLE, int64(d.ShipdateCutoff(0.8))).
+			GroupBy("l_quantity", "l_extendedprice"), ExecOptions{Mode: ModeFixed}},
+		{convergentPlan(d, true), ExecOptions{Mode: ModeProgressive, Progressive: adaptive}},
+		{convergentPlan(d, false), ExecOptions{Mode: ModeMicroAdaptive, Progressive: adaptive}},
+		{convergentPlan(d, true), ExecOptions{Mode: ModeFixed}},
+	}
+	tks := make([]*Ticket, len(subs))
+	for i, sub := range subs {
+		tk, err := srv.SubmitAt(d, sub.plan, sub.opts, uint64(i)*40_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks[i] = tk
+	}
+	obs := serveMatrixObs{Results: make([]ExecResult, len(tks))}
+	errs := make([]error, len(tks))
+	var wg sync.WaitGroup
+	for i, tk := range tks {
+		wg.Add(1)
+		go func(i int, tk *Ticket) {
+			defer wg.Done()
+			obs.Results[i], errs[i] = tk.Wait()
+		}(i, tk)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		// Fingerprints hash the data-set generation, a process-global counter,
+		// so they are unique per run by design; everything else must match.
+		obs.Results[i].Served.Fingerprint = ""
+	}
+	obs.Stats = srv.Stats()
+	var met bytes.Buffer
+	if err := srv.WriteMetrics(&met); err != nil {
+		t.Fatal(err)
+	}
+	obs.Metrics = met.String()
+	if variant == "traced" {
+		var tr bytes.Buffer
+		if err := e.Trace().WriteChrome(&tr); err != nil {
+			t.Fatal(err)
+		}
+		obs.Trace = tr.String()
+	}
+	return obs
+}
+
+// TestServeConcurrentBitIdentical pins the tentpole: the concurrent-round
+// scheduler reproduces the serial-round oracle bit for bit over the full
+// matrix. The oracle runs at GOMAXPROCS=1; the concurrent runs at 1 and 4.
+func TestServeConcurrentBitIdentical(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, variant := range []string{"plain", "stored", "traced"} {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, variant), func(t *testing.T) {
+				prev := runtime.GOMAXPROCS(1)
+				ref := runServeMatrix(t, workers, variant, true)
+				runtime.GOMAXPROCS(prev)
+				for _, gmp := range []int{1, 4} {
+					t.Run(fmt.Sprintf("gomaxprocs=%d", gmp), func(t *testing.T) {
+						defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(gmp))
+						got := runServeMatrix(t, workers, variant, false)
+						for i := range ref.Results {
+							if !reflect.DeepEqual(ref.Results[i], got.Results[i]) {
+								t.Errorf("query %d diverges from serial oracle:\n serial     %+v\n concurrent %+v",
+									i, ref.Results[i], got.Results[i])
+							}
+						}
+						if ref.Stats != got.Stats {
+							t.Errorf("server stats diverge:\n serial     %+v\n concurrent %+v", ref.Stats, got.Stats)
+						}
+						if ref.Metrics != got.Metrics {
+							t.Errorf("metrics exposition diverges:\n serial:\n%s\n concurrent:\n%s", ref.Metrics, got.Metrics)
+						}
+						if ref.Trace != got.Trace {
+							t.Errorf("trace bytes diverge: %d vs %d bytes", len(ref.Trace), len(got.Trace))
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// sharedStorObs is one run of the shared-tier workload: per-query outcomes,
+// the shared view's counters and residency, and its exact fetch/evict
+// sequence.
+type sharedStorObs struct {
+	Outcomes []service.Outcome
+	Counters cache.StorageCounters
+	Resident uint64
+	Events   []string
+}
+
+// runSharedStorageTrace serves three queries whose tier views share one
+// cache.StorageSet under an eviction-forcing budget: query j exposes the
+// shared set at core slot j (and private sets elsewhere), so rounds where two
+// queries both hold their shared slot exercise the scheduler's serial
+// fallback, while single-toucher rounds stay host-concurrent.
+func runSharedStorageTrace(t *testing.T) sharedStorObs {
+	t.Helper()
+	e, err := New(Config{VectorSize: 512, Workers: 4, Storage: &StorageConfig{
+		BlockRows: 2048, LatencyCycles: 300, BytesPerCycle: 8, ResidentBytes: 8 << 10,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d, err := e.GenerateTPCH(30000, 21, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Compile(d, storedQ6Plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := q.storage.plan.NewSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(e.cpu.Profile(), e.workers, e.eng.VectorSize(), e.scalar, service.Config{MaxActive: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	// Trace the pool cores: SetStorage wires each attached tier view's
+	// fetch/evict stream to the attaching core's track (the engine owns the
+	// set's observer slot), so the tracks record the exact per-core tier event
+	// sequence with block ids and cycle stamps.
+	rec := trace.New()
+	svcTrack := rec.NewTrack("service")
+	coreTracks := make([]*trace.Track, e.workers)
+	for i := range coreTracks {
+		coreTracks[i] = rec.NewTrack(fmt.Sprintf("pool %d", i))
+	}
+	svc.SetTrace(svcTrack, coreTracks)
+	modes := []service.Mode{service.ModeFixed, service.ModeProgressive, service.ModeFixed}
+	tks := make([]*service.Ticket, len(modes))
+	for j, mode := range modes {
+		views := make([]*exec.StorageScan, e.workers)
+		for i := range views {
+			set := shared
+			if i != j {
+				if set, err = q.storage.plan.NewSet(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			views[i] = &exec.StorageScan{Skip: q.storage.plan.Skip, Set: set}
+		}
+		req := service.Request{
+			Query:       q.q,
+			Mode:        mode,
+			Arrival:     uint64(j) * 30_000,
+			Fingerprint: service.Compute("lineitem", d.gen, []string{fmt.Sprintf("shared-stor-%d", j)}),
+			Storage:     views,
+		}
+		if mode == service.ModeProgressive {
+			req.Opt = Progressive{Interval: 5}.coreOptions()
+		}
+		tk, err := svc.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks[j] = tk
+	}
+	obs := sharedStorObs{Outcomes: make([]service.Outcome, len(tks))}
+	errs := make([]error, len(tks))
+	var wg sync.WaitGroup
+	for j, tk := range tks {
+		wg.Add(1)
+		go func(j int, tk *service.Ticket) {
+			defer wg.Done()
+			obs.Outcomes[j], errs[j] = tk.Wait()
+		}(j, tk)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", j, err)
+		}
+	}
+	obs.Counters = shared.Counters()
+	obs.Resident = shared.ResidentBytes()
+	for ti, trk := range coreTracks {
+		for _, ev := range trk.Events() {
+			if ev.Name == "tier-fetch" || ev.Name == "tier-evict" {
+				obs.Events = append(obs.Events,
+					fmt.Sprintf("%d:%s:%v@%d", ti, ev.Name, ev.Args[0].Val, ev.Start))
+			}
+		}
+	}
+	return obs
+}
+
+// TestServeSharedStorageDeterministic pins storage-tier determinism under
+// concurrent rounds: a tier view shared across three served queries
+// reproduces identical counters, stall debt, residency, and the exact
+// fetch/eviction sequence on repeated runs and across GOMAXPROCS {1,4}.
+func TestServeSharedStorageDeterministic(t *testing.T) {
+	a := runSharedStorageTrace(t)
+	b := runSharedStorageTrace(t)
+	prev := runtime.GOMAXPROCS(1)
+	c := runSharedStorageTrace(t)
+	runtime.GOMAXPROCS(4)
+	e := runSharedStorageTrace(t)
+	runtime.GOMAXPROCS(prev)
+	if a.Counters.BlockFetches == 0 || a.Counters.StallCycles == 0 {
+		t.Fatalf("shared tier view saw no traffic: %+v", a.Counters)
+	}
+	if a.Counters.Evictions == 0 || len(a.Events) == 0 {
+		t.Fatalf("budget forced no evictions (%d events); the sequence check is vacuous", len(a.Events))
+	}
+	for name, got := range map[string]sharedStorObs{"repeat": b, "gomaxprocs=1": c, "gomaxprocs=4": e} {
+		if !reflect.DeepEqual(a, got) {
+			t.Errorf("%s run diverges:\n ref %+v\n got %+v", name, a, got)
+		}
+	}
+}
+
+// TestServeStatsNonBlockingMidRun pins the published-at-barrier regression:
+// Ticket.WarmStarted and Server.Stats called from a second goroutine must not
+// block behind an in-flight scheduling round, and Stats must observe the
+// makespan advancing while the workload is still running (before this PR the
+// driving waiter held the server mutex for the whole workload, so a mid-run
+// Stats call could only ever see the pre-run or final makespan).
+func TestServeStatsNonBlockingMidRun(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	e, d := serveEngine(t, 4)
+	defer e.Close()
+	srv, err := NewServer(e, ServerConfig{MaxActive: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tks := make([]*Ticket, 6)
+	for i := range tks {
+		mode := ExecOptions{Mode: ModeFixed}
+		if i%2 == 1 {
+			mode = ExecOptions{Mode: ModeProgressive, Progressive: Progressive{Interval: 5}}
+		}
+		tk, err := srv.SubmitAt(d, convergentPlan(d, i%2 == 1), mode, uint64(i)*40_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks[i] = tk
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, tk := range tks {
+			if _, err := tk.Wait(); err != nil {
+				t.Errorf("wait: %v", err)
+				return
+			}
+		}
+	}()
+	var midrun []uint64
+poll:
+	for {
+		select {
+		case <-done:
+			break poll
+		default:
+		}
+		st := srv.Stats()
+		tks[3].t.WarmStarted() // must not block either
+		if n := len(midrun); n == 0 || midrun[n-1] != st.MakespanCycles {
+			midrun = append(midrun, st.MakespanCycles)
+		}
+		runtime.Gosched()
+	}
+	final := srv.Stats().MakespanCycles
+	if final == 0 {
+		t.Fatal("workload drove the clock nowhere")
+	}
+	saw := 0
+	for _, v := range midrun {
+		if v > 0 && v < final {
+			saw++
+		}
+	}
+	if saw == 0 {
+		t.Errorf("no mid-run Stats call observed an intermediate makespan (%d polls, final %d); reads are blocking behind the round", len(midrun), final)
+	}
+}
+
+// TestServeSteadyStateAllocs pins the per-round allocation elimination: after
+// warm-up, a served query's host allocations must not grow with its round
+// count (the pre-PR scheduler allocated an active-set snapshot per round).
+// AllocsPerRun measures at GOMAXPROCS=1, i.e. the inline round path.
+func TestServeSteadyStateAllocs(t *testing.T) {
+	measure := func(quantum int) float64 {
+		e, err := New(Config{VectorSize: 512, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		d, err := e.GenerateTPCH(48*512, 31, OrderRandom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(e, ServerConfig{QuantumVectors: quantum})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		run := func() {
+			tk, err := srv.Submit(d, convergentPlan(d, false), ExecOptions{Mode: ModeFixed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tk.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the plan cache, scratch freelist, and exec wave scratch
+		run()
+		return testing.AllocsPerRun(5, run)
+	}
+	many := measure(1)   // ~48 scheduling rounds per query
+	few := measure(1000) // one round per query
+	if delta := many - few; delta > 16 {
+		t.Errorf("allocs grow with round count: %.1f at quantum=1 vs %.1f at quantum=1000 (delta %.1f)", many, few, delta)
+	}
+	if many > 300 {
+		t.Errorf("served query allocates %.1f times at steady state; budget 300", many)
+	}
+}

@@ -346,6 +346,56 @@ func BenchmarkRunTopK(b *testing.B) {
 	b.ReportMetric(float64(cycles), "sim_cycles")
 }
 
+// benchJoinGraph measures a JoinOn join-graph query through the public
+// facade under ModeFixed: compile resolves the edges, pushes the per-table
+// filters down, and orders the probes with the statistics-free greedy
+// orderer. sim_cycles is the deterministic simulated cost of the compiled
+// order.
+func benchJoinGraph(b *testing.B, nTables int) {
+	e, err := New(Config{VectorSize: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := e.GenerateTPCH(200_000, 7, OrderNatural)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Scan("lineitem").
+		JoinOn("lineitem", "l_orderkey", "orders").
+		Filter("o_orderdate", CmpLE, int64(d.ShipdateCutoff(0.8))).
+		Filter("l_quantity", CmpLT, 30).
+		Sum("l_extendedprice * l_discount")
+	if nTables >= 4 {
+		p = p.JoinOn("lineitem", "l_partkey", "part").
+			JoinOn("orders", "o_custkey", "customer").
+			Filter("p_size", CmpLE, 25).
+			Filter("c_acctbal", CmpGE, 0.0)
+	}
+	q, err := e.Compile(d, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := e.Exec(q, ExecOptions{Mode: ModeFixed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim_cycles")
+}
+
+// BenchmarkRunJoinGraph2 is the 2-table graph (lineitem→orders with a
+// pushed-down orders filter). Feeds the BENCH_perf.json join-graph rows
+// (schema progopt-perf/v6).
+func BenchmarkRunJoinGraph2(b *testing.B) { benchJoinGraph(b, 2) }
+
+// BenchmarkRunJoinGraph4 is the 4-table star/snowflake (orders, part,
+// customer via orders) with filters pushed to three tables.
+func BenchmarkRunJoinGraph4(b *testing.B) { benchJoinGraph(b, 4) }
+
 // benchStored runs the Q6 scan over the stored (PCOL v2) lineitem through
 // the public facade with the given storage configuration; sim_cycles is the
 // stall-inclusive reported cycle count.

@@ -52,7 +52,25 @@ func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 	if p.err != nil {
 		return nil, p.err
 	}
-	driving, err := drivingTable(d, p.table)
+	hasEdge, hasLegacyJoin := false, false
+	for _, step := range p.steps {
+		switch step.kind {
+		case stepEdge:
+			hasEdge = true
+		case stepJoin:
+			hasLegacyJoin = true
+		}
+	}
+	if hasEdge && hasLegacyJoin {
+		return nil, fmt.Errorf("progopt: plan mixes Join and JoinOn; migrate Join(build, sel) to JoinOn(%q, <fk column>, build) plus a Filter on the build table", p.fingerprintTable())
+	}
+	var driving *columnar.Table
+	var err error
+	if hasEdge {
+		driving, err = graphDrivingTable(d, p.table)
+	} else {
+		driving, err = drivingTable(d, p.table)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -61,6 +79,9 @@ func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 	// the zone maps and encoded sizes the storage tier prices.
 	var stored *storedTable
 	if e.stcfg != nil {
+		if driving != d.d.Lineitem {
+			return nil, fmt.Errorf("progopt: a storage-backed engine drives scans from \"lineitem\" only, not %q", driving.Name())
+		}
 		st, err := e.storedLineitem(d)
 		if err != nil {
 			return nil, err
@@ -75,21 +96,32 @@ func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 		return nil, fmt.Errorf("progopt: plan has both Sum and GroupBy; a grouped plan sums its value column")
 	}
 
-	ops := make([]exec.Op, 0, len(p.steps))
-	for _, step := range p.steps {
-		var op exec.Op
-		switch step.kind {
-		case stepFilter:
-			op, err = e.compileFilter(d, driving, step)
-		case stepJoin:
-			op, err = e.compileJoin(d, driving, step)
-		default:
-			err = fmt.Errorf("progopt: unknown plan step kind %d", step.kind)
-		}
+	var ops []exec.Op
+	var joinEdges []JoinEdgeExplain
+	if hasEdge {
+		// Join-graph plans: resolve edges, push down cross-table predicates,
+		// and order operators with the statistics-free greedy orderer.
+		ops, joinEdges, err = e.compileGraph(d, driving, p)
 		if err != nil {
 			return nil, err
 		}
-		ops = append(ops, op)
+	} else {
+		ops = make([]exec.Op, 0, len(p.steps))
+		for _, step := range p.steps {
+			var op exec.Op
+			switch step.kind {
+			case stepFilter:
+				op, err = e.compileFilter(d, driving, step)
+			case stepJoin:
+				op, err = e.compileJoin(d, driving, step)
+			default:
+				err = fmt.Errorf("progopt: unknown plan step kind %d", step.kind)
+			}
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, op)
+		}
 	}
 
 	q := &exec.Query{Table: driving, Ops: ops}
@@ -104,7 +136,7 @@ func (e *Engine) Compile(d *Dataset, p *Plan) (*Query, error) {
 		return nil, err
 	}
 
-	out := &Query{q: q, sumExpr: p.sum}
+	out := &Query{q: q, sumExpr: p.sum, joins: joinEdges}
 	if p.group != nil {
 		ge, err := e.compileGroup(driving, p.group.key, p.group.value)
 		if err != nil {
@@ -145,14 +177,16 @@ func (e *Engine) compileSort(d *Dataset, driving *columnar.Table, p *Plan, agg *
 	for _, o := range p.order {
 		col := driving.Column(o.col)
 		if col == nil {
-			for _, t := range []*columnar.Table{d.d.Orders, d.d.Part} {
-				if t.Column(o.col) != nil {
+			for _, name := range datasetTableNames(d) {
+				t := d.d.Table(name)
+				if t != driving && t.Column(o.col) != nil {
 					return nil, fmt.Errorf(
 						"progopt: order column %q belongs to %q, not the driving table %q (order by driving-table columns; join values are not materialized)",
-						o.col, t.Name(), driving.Name())
+						o.col, name, driving.Name())
 				}
 			}
-			return nil, fmt.Errorf("progopt: unknown order column %q in %q", o.col, driving.Name())
+			return nil, fmt.Errorf("progopt: unknown order column %q in %q (columns: %s)",
+				o.col, driving.Name(), strings.Join(columnNames(driving), ", "))
 		}
 		keys = append(keys, exec.SortKey{Col: col, Desc: o.desc})
 	}
@@ -178,33 +212,57 @@ func (e *Engine) compileSort(d *Dataset, driving *columnar.Table, p *Plan, agg *
 	return se, nil
 }
 
-// drivingTable resolves the plan's table name. Only lineitem can drive a
-// scan: orders and part are build sides, reachable through Join.
+// drivingTable resolves the plan's table name for plans without JoinOn
+// edges. Only lineitem can drive such a scan: the dimension tables are build
+// sides, reachable through Join (or, with JoinOn, any table can drive — see
+// graphDrivingTable).
 func drivingTable(d *Dataset, name string) (*columnar.Table, error) {
 	switch name {
 	case "", "lineitem":
 		return d.d.Lineitem, nil
-	case "orders", "part":
-		return nil, fmt.Errorf("progopt: table %q cannot drive a scan (build side only; join into it from lineitem)", name)
 	default:
-		return nil, fmt.Errorf("progopt: unknown table %q", name)
+		if d.d.Table(name) != nil {
+			return nil, fmt.Errorf("progopt: table %q cannot drive a scan without join edges (declare JoinOn edges, or join into it from lineitem)", name)
+		}
+		return nil, fmt.Errorf("progopt: unknown table %q (tables: %s)", name, strings.Join(datasetTableNames(d), ", "))
 	}
 }
 
-// compileFilter resolves one filter step into a bound predicate.
+// graphDrivingTable resolves the driving table of a join-graph plan: any
+// data-set table can root the graph.
+func graphDrivingTable(d *Dataset, name string) (*columnar.Table, error) {
+	if name == "" {
+		return d.d.Lineitem, nil
+	}
+	if t := d.d.Table(name); t != nil {
+		return t, nil
+	}
+	return nil, fmt.Errorf("progopt: unknown table %q (tables: %s)", name, strings.Join(datasetTableNames(d), ", "))
+}
+
+// compileFilter resolves one filter step of a plan without join edges into a
+// bound driving-table predicate.
 func (e *Engine) compileFilter(d *Dataset, driving *columnar.Table, step planStep) (exec.Op, error) {
 	col := driving.Column(step.col)
 	if col == nil {
 		// Distinguish a typo from a cross-table predicate for the error.
-		for _, t := range []*columnar.Table{d.d.Orders, d.d.Part} {
-			if t.Column(step.col) != nil {
+		for _, name := range datasetTableNames(d) {
+			t := d.d.Table(name)
+			if t != driving && t.Column(step.col) != nil {
 				return nil, fmt.Errorf(
-					"progopt: filter column %q belongs to %q, not the driving table %q (cross-table predicates would read build-side columns with driving-table row ids; use Join)",
-					step.col, t.Name(), driving.Name())
+					"progopt: filter column %q belongs to %q, not the driving table %q (declare JoinOn(..., ..., %q) and the predicate is pushed down to it)",
+					step.col, name, driving.Name(), name)
 			}
 		}
-		return nil, fmt.Errorf("progopt: unknown column %q in %q", step.col, driving.Name())
+		return nil, fmt.Errorf("progopt: unknown column %q in %q (columns: %s)",
+			step.col, driving.Name(), strings.Join(columnNames(driving), ", "))
 	}
+	return predicateFor(col, step)
+}
+
+// predicateFor builds the bound predicate for a filter step whose column has
+// been resolved, checking the bound representation against the column kind.
+func predicateFor(col *columnar.Column, step planStep) (*exec.Predicate, error) {
 	op, err := cmpOf(step.op)
 	if err != nil {
 		return nil, err
@@ -255,7 +313,7 @@ func (e *Engine) compileJoin(d *Dataset, driving *columnar.Table, step planStep)
 		filter := &exec.Predicate{Col: d.d.Part.Column("p_size"), Op: exec.LE, I: cut}
 		return exec.NewFKJoin(e.cpu, driving.Column("l_partkey"), d.d.NumParts, filter, label)
 	default:
-		return nil, fmt.Errorf("progopt: unknown build table %q", step.build)
+		return nil, fmt.Errorf("progopt: unknown build table %q (Join reaches \"orders\" and \"part\"; use JoinOn for other tables)", step.build)
 	}
 }
 

@@ -34,12 +34,12 @@
 //	fmt.Printf("%.1fx faster, %d reorders\n",
 //		baseline.Millis/adaptive.Millis, adaptive.Stats.Reorders)
 //
-// Plans compose filters (Filter/FilterCost), foreign-key joins (Join), a
-// sum aggregate (Sum), a grouped aggregation (GroupBy), or ordered output
-// (OrderBy with an optional Top-K Limit); Compile validates every column,
-// bound, and selectivity against the data set — including rejecting
-// predicates on build-side tables, which must be reached through Join. Exec
-// drives every execution shape: ModeFixed, ModeProgressive, and
+// Plans compose filters (Filter/FilterCost), join-graph edges (JoinOn) or
+// legacy single-FK joins (Join), a sum aggregate (Sum), a grouped
+// aggregation (GroupBy), or ordered output (OrderBy with an optional Top-K
+// Limit); Compile validates every column, bound, and selectivity against
+// the data set. Exec drives every execution shape: ModeFixed,
+// ModeProgressive, and
 // ModeMicroAdaptive all honor Config.Workers (morsel-driven multi-core
 // scans with makespan cycle counts and merged PMU counters), grouped plans
 // aggregate with per-core partial hash tables merged at the barrier, and
@@ -53,6 +53,39 @@
 // The former per-shape methods (BuildQ6, BuildScan, BuildPipeline, Run,
 // RunProgressive, RunMicroAdaptive, RunGroupBy) remain as deprecated thin
 // wrappers over Compile/Exec; see DESIGN.md for the migration table.
+//
+// # Join graphs
+//
+// JoinOn(from, key, to) declares an equi-join edge between any two plan
+// tables, in any order — Compile resolves the edge set into a tree rooted
+// at the driving table, routes each filter to whichever table owns its
+// column (driving-table predicates stay put, joined-table predicates push
+// down onto their edge), and compiles every edge into an independently
+// permutable driving-row probe (multi-hop for edges that do not start at
+// the driving table). The default operator order is a statistics-free
+// greedy one — smallest build relation first under connectivity — and the
+// adaptive modes reorder joins and filters across the whole search space
+// from observed PMU counters, bit-identical at every worker count:
+//
+//	q, err := eng.Compile(ds, progopt.Scan("lineitem").
+//		JoinOn("lineitem", "l_orderkey", "orders").
+//		JoinOn("lineitem", "l_partkey", "part").
+//		JoinOn("orders", "o_custkey", "customer"). // probes lineitem→orders→customer
+//		Filter("l_quantity", progopt.CmpLT, 30).
+//		Filter("o_orderdate", progopt.CmpLE, int64(ds.ShipdateCutoff(0.05))).
+//		Filter("c_acctbal", progopt.CmpGE, 4500.0).
+//		Sum("l_extendedprice * l_discount"))
+//	res, err := eng.Exec(q, progopt.ExecOptions{Mode: progopt.ModeProgressive,
+//		Progressive: progopt.Progressive{Interval: 10}})
+//
+// Migration note: the single-FK Join(table, selectivity) builder predates
+// join graphs and survives unchanged for existing callers, but it cannot
+// be mixed with JoinOn in one plan (Compile rejects the mix and names the
+// fix). New code should declare edges with JoinOn — the build-side filter
+// that Join approximated with a nominal selectivity becomes a real pushed-
+// down Filter on the joined table's columns. See DESIGN.md "Join-graph
+// architecture" for the greedy baseline, the rank-based PMU proposal, and
+// why bit-identity survives join reordering.
 //
 // # Serving a workload
 //

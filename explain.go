@@ -26,6 +26,22 @@ type OpExplain struct {
 	EstimatedInput float64
 }
 
+// JoinEdgeExplain describes one resolved join-graph edge of a compiled
+// JoinOn plan.
+type JoinEdgeExplain struct {
+	// From and To are the edge's endpoint tables.
+	From, To string
+	// Key is the foreign-key column the edge probes through.
+	Key string
+	// BuildRows is |To|.
+	BuildRows int
+	// Hops is the probe-path length from the driving table (1 = the key is a
+	// driving-table column, 2 = one intermediate table, ...).
+	Hops int
+	// Pushed is the number of predicates pushed down to To.
+	Pushed int
+}
+
 // PlanExplain describes a query plan with per-operator facts and the cost
 // model's counter predictions for the current order.
 type PlanExplain struct {
@@ -74,6 +90,9 @@ type PlanExplain struct {
 	// recent traced execution, in first-appearance order (nil when the query
 	// never ran on an engine with Config.Trace set).
 	Trace []TraceAgg
+	// Joins describes the resolved join-graph edges in the greedy default
+	// order (nil for plans without JoinOn edges).
+	Joins []JoinEdgeExplain
 	// Ops describes the operators in evaluation order.
 	Ops []OpExplain
 	// PredictedBNT, PredictedMP, PredictedL3 are the §3 model's counter
@@ -88,6 +107,20 @@ type PlanExplain struct {
 func (p PlanExplain) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scan %s (%d rows; %s exec, %d worker(s))\n", p.Table, p.Rows, p.Exec, p.Workers)
+	if len(p.Joins) > 0 {
+		b.WriteString("  join graph (greedy order):")
+		for _, j := range p.Joins {
+			fmt.Fprintf(&b, " %s -%s-> %s (%d rows", j.From, j.Key, j.To, j.BuildRows)
+			if j.Hops > 1 {
+				fmt.Fprintf(&b, ", %d hops", j.Hops)
+			}
+			if j.Pushed > 0 {
+				fmt.Fprintf(&b, ", %d pushed filter(s)", j.Pushed)
+			}
+			b.WriteString(");")
+		}
+		b.WriteString("\n")
+	}
 	for _, op := range p.Ops {
 		fmt.Fprintf(&b, "  %d: %-24s %-9s sel=%.4f  input=%.4f\n",
 			op.Position, op.Name, op.Kind, op.TrueSelectivity, op.EstimatedInput)
@@ -230,6 +263,9 @@ func (e *Engine) Explain(q *Query) (PlanExplain, error) {
 	}
 	if ta := q.traced.Load(); ta != nil {
 		out.Trace = *ta
+	}
+	if q.joins != nil {
+		out.Joins = append([]JoinEdgeExplain(nil), q.joins...)
 	}
 	if sp := q.served.Load(); sp != nil {
 		src := "compiled (plan-cache miss)"

@@ -140,6 +140,9 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 
 	var prevVecCycles uint64
 	pendingValidation := false
+	// rejected remembers the last order validation reverted (see
+	// RunProgressive); the estimator's output is ignored while it equals it.
+	var rejected []int
 	if opt.Geometry.LineSize == 0 {
 		hier := c.Profile().Hierarchy
 		opt.Geometry.LineSize = hier.L3.LineSize
@@ -175,6 +178,7 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 			pendingValidation = false
 			limit := float64(prevVecCycles) * (1 + opt.ValidationTolerance)
 			if float64(vecCycles) > limit && (hi-lo) == vs {
+				rejected = append([]int(nil), curPerm...)
 				curPerm = append([]int(nil), prevPerm...)
 				curQ, err = q.WithOrder(curPerm)
 				if err != nil {
@@ -222,9 +226,9 @@ func RunMicroAdaptive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, 
 			st.addSample(smp)
 			traceSample(opt.Trace, c.Cycles(), smp)
 
-			order := AscendingOrder(est.Sels)
+			order := RankOrder(LoadWeights(curQ), est.Sels)
 			newPerm := compose(curPerm, order)
-			if !equalPerm(newPerm, curPerm) {
+			if !equalPerm(newPerm, curPerm) && !equalPerm(newPerm, rejected) {
 				prevPerm = append([]int(nil), curPerm...)
 				curPerm = newPerm
 				curQ, err = q.WithOrder(curPerm)

@@ -112,8 +112,10 @@ type Stats struct {
 // RunProgressive executes the query vector-at-a-time with progressive
 // re-optimization: every ReopInterval vectors it samples the PMU delta of
 // the last vector, estimates per-operator selectivities, reorders operators
-// by ascending estimate, then validates the new order against the next
-// vector and reverts on regression (§4.4).
+// by ascending rank (per-row load weight over estimated drop rate — plain
+// ascending selectivity for all-predicate plans; see RankOrder), then
+// validates the new order against the next vector and reverts on regression
+// (§4.4).
 //
 // The returned result's counters and cycles include the sampling,
 // estimation, and reordering overhead, charged to the simulated CPU.
@@ -151,6 +153,11 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 	// stableCycles counts consecutive optimization cycles that confirmed the
 	// current order (drives the §4.5 correlation probe).
 	stableCycles := 0
+	// rejected remembers the last order validation reverted: proposing it
+	// again would just repeat the measured regression, so the estimator's
+	// (and the probe's) output is ignored while it equals this order. Only a
+	// revert overwrites it, so a genuinely changed estimate still reorders.
+	var rejected []int
 
 	vec := 0
 	for lo := 0; lo < n; lo += vs {
@@ -175,7 +182,9 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 			pendingValidation = false
 			limit := float64(prevVecCycles) * (1 + opt.ValidationTolerance)
 			if float64(vecCycles) > limit && (hi-lo) == vs {
-				// Deteriorated: re-establish the previous order.
+				// Deteriorated: re-establish the previous order and remember
+				// the rejected one so it is not proposed again.
+				rejected = append([]int(nil), curPerm...)
 				curPerm = append([]int(nil), prevPerm...)
 				curQ, err = q.WithOrder(curPerm)
 				if err != nil {
@@ -199,26 +208,28 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 			// order ExploreEvery times in a row; its independence assumption
 			// might be hiding a better order. Execute the next vector under
 			// a rotation of the current order and let validation decide.
-			stableCycles = 0
-			st.Explorations++
-			probe := append([]int(nil), curPerm[1:]...)
-			probe = append(probe, curPerm[0])
-			prevPerm = append([]int(nil), curPerm...)
-			curPerm = probe
-			curQ, err = q.WithOrder(curPerm)
-			if err != nil {
-				return exec.Result{}, Stats{}, err
+			// (A rotation that validation already rejected is skipped — the
+			// cycle falls through to plain estimation instead.)
+			if probe := rotate(curPerm); !equalPerm(probe, rejected) {
+				stableCycles = 0
+				st.Explorations++
+				prevPerm = append([]int(nil), curPerm...)
+				curPerm = probe
+				curQ, err = q.WithOrder(curPerm)
+				if err != nil {
+					return exec.Result{}, Stats{}, err
+				}
+				if !opt.DisablePredictorReset {
+					c.ResetPredictor()
+				}
+				c.Exec(opt.ReorderCostInstr)
+				pendingValidation = true
+				st.ConvergedAtCycles = c.Cycles() - startCycles
+				traceDecision(opt.Trace, "explore", c.Cycles(), delta,
+					trace.A("from", prevPerm), trace.A("to", curPerm))
+				prevVecCycles = vecCycles
+				continue
 			}
-			if !opt.DisablePredictorReset {
-				c.ResetPredictor()
-			}
-			c.Exec(opt.ReorderCostInstr)
-			pendingValidation = true
-			st.ConvergedAtCycles = c.Cycles() - startCycles
-			traceDecision(opt.Trace, "explore", c.Cycles(), delta,
-				trace.A("from", prevPerm), trace.A("to", curPerm))
-			prevVecCycles = vecCycles
-			continue
 		}
 		if runOpt {
 			c.Exec(opt.SampleCostInstr)
@@ -246,9 +257,9 @@ func RunProgressive(e *exec.Engine, q *exec.Query, opt Options) (exec.Result, St
 			}
 			st.addSample(smp)
 			traceSample(opt.Trace, c.Cycles(), smp)
-			order := AscendingOrder(est.Sels)
+			order := RankOrder(LoadWeights(curQ), est.Sels)
 			newPerm := compose(curPerm, order)
-			if !equalPerm(newPerm, curPerm) {
+			if !equalPerm(newPerm, curPerm) && !equalPerm(newPerm, rejected) {
 				stableCycles = 0
 				prevPerm = append([]int(nil), curPerm...)
 				curPerm = newPerm
@@ -292,6 +303,13 @@ func identity(n int) []int {
 		p[i] = i
 	}
 	return p
+}
+
+// rotate returns the §4.5 exploration rotation of a permutation: the leading
+// operator moves to the back.
+func rotate(p []int) []int {
+	out := append([]int(nil), p[1:]...)
+	return append(out, p[0])
 }
 
 // compose maps a reorder expressed in current-order positions into

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sort"
+
+	"progopt/internal/exec"
+)
+
+// LoadWeights returns each operator's dependent loads per driving row: one
+// for a predicate's column read; for a foreign-key join the key read, each
+// via hop, the hash-bucket probe, and the pushed build-side filter column if
+// present. The weights are structural — read off the compiled operators, no
+// statistics — and feed RankOrder so the progressive optimizer prices a
+// multi-hop probe at what it actually costs per row instead of treating
+// every operator as one load.
+func LoadWeights(q *exec.Query) []float64 {
+	w := make([]float64, len(q.Ops))
+	for i, op := range q.Ops {
+		switch j := op.(type) {
+		case *exec.FKJoin:
+			loads := 2 + len(j.Via) // key read, via hops, bucket probe
+			if j.Filter != nil {
+				loads++
+			}
+			w[i] = float64(loads)
+		default:
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// RankOrder returns the positions sorted by the classic rank criterion
+// ascending: rank_i = w_i / (1 - s_i), an operator's per-row cost divided by
+// the fraction of rows it removes. With uniform weights this is exactly
+// AscendingOrder — the paper's predicate-only rule — so all-predicate plans
+// behave identically; with join operators in the pipeline it keeps a cheap
+// selective predicate ahead of an expensive multi-hop probe that filters
+// only slightly harder, which plain selectivity ordering gets wrong.
+//
+// Exact rank ties break by ascending selectivity, then input position, so
+// the order is deterministic for any input.
+func RankOrder(weights, sels []float64) []int {
+	order := make([]int, len(sels))
+	for i := range order {
+		order[i] = i
+	}
+	rank := func(i int) float64 {
+		drop := 1 - sels[i]
+		if drop < 1e-9 {
+			drop = 1e-9
+		}
+		w := 1.0
+		if i < len(weights) {
+			w = weights[i]
+		}
+		return w / drop
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		ra, rb := rank(a), rank(b)
+		if ra != rb {
+			return ra < rb
+		}
+		return sels[a] < sels[b]
+	})
+	return order
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRankOrderUniformWeightsMatchesAscending: with equal weights the rank
+// criterion must reduce exactly to ascending selectivity, including ties.
+func TestRankOrderUniformWeightsMatchesAscending(t *testing.T) {
+	cases := [][]float64{
+		{0.9, 0.1, 0.5},
+		{0.5, 0.5, 0.1},
+		{1.0, 0.2, 1.0, 0.2},
+		{0.0, 0.0, 0.0},
+	}
+	for _, sels := range cases {
+		w := make([]float64, len(sels))
+		for i := range w {
+			w[i] = 1
+		}
+		if got, want := RankOrder(w, sels), AscendingOrder(sels); !reflect.DeepEqual(got, want) {
+			t.Errorf("RankOrder(uniform, %v) = %v, want AscendingOrder %v", sels, got, want)
+		}
+	}
+}
+
+// TestRankOrderWeighted: a cheap predicate that keeps 58% belongs before an
+// expensive 3-load probe that keeps 50% — selectivity ordering alone would
+// swap them. The strongly filtering probe still goes first overall.
+func TestRankOrderWeighted(t *testing.T) {
+	weights := []float64{1, 3, 3} // predicate, orders probe, part probe
+	sels := []float64{0.58, 0.05, 0.9}
+	// ranks: 1/0.42=2.4, 3/0.95=3.2, 3/0.1=30.
+	if got, want := RankOrder(weights, sels), []int{0, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("RankOrder = %v, want %v", got, want)
+	}
+	// Plain selectivity would hoist the expensive probe above the predicate.
+	if asc := AscendingOrder(sels); asc[0] != 1 || asc[1] != 0 {
+		t.Fatalf("fixture lost its point: AscendingOrder = %v", asc)
+	}
+}
+
+// TestRankOrderSaturated: estimates at (or numerically above) selectivity 1
+// must not divide by zero; saturated operators order by selectivity then
+// position, deterministically.
+func TestRankOrderSaturated(t *testing.T) {
+	got := RankOrder([]float64{1, 1, 1}, []float64{1.0, 0.3, 1.0})
+	if want := []int{1, 0, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("RankOrder saturated = %v, want %v", got, want)
+	}
+}

@@ -37,6 +37,14 @@ type BlockStepper struct {
 
 	prevCostPerVec    float64
 	pendingValidation bool
+	// stableBlocks counts consecutive optimization epochs that confirmed the
+	// current order (drives the §4.5 correlation probe at block granularity;
+	// progressive mode only — the serial micro-adaptive driver has no probe
+	// either, keeping worker counts decision-identical).
+	stableBlocks int
+	// rejected remembers the last order validation reverted, so neither the
+	// estimator nor the probe proposes the measured regression again.
+	rejected []int
 
 	// accounted is the simulated cycle cost attributed to the query so far
 	// (block makespans plus coordination), the clock ConvergedAtCycles is
@@ -140,7 +148,9 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 	if s.pendingValidation && !s.opt.DisableValidation {
 		s.pendingValidation = false
 		if s.prevCostPerVec > 0 && costPerVec > s.prevCostPerVec*(1+s.opt.ValidationTolerance) {
-			// Deteriorated: re-establish the previous order on every core.
+			// Deteriorated: re-establish the previous order on every core and
+			// remember the rejected one so it is not proposed again.
+			s.rejected = append([]int(nil), s.curPerm...)
 			s.curPerm = append([]int(nil), s.prevPerm...)
 			var err error
 			s.curQ, err = s.base.WithOrder(s.curPerm)
@@ -159,6 +169,34 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 	}
 
 	runOpt := s.opt.ReopInterval > 0 && !last
+	if runOpt && !s.micro && s.opt.ExploreEvery > 0 && s.stableBlocks >= s.opt.ExploreEvery {
+		// §4.5 correlation probe at block granularity: the estimator has
+		// confirmed the same order ExploreEvery epochs in a row; run the next
+		// block under a rotation of the current order and let validation
+		// decide. A rotation validation already rejected is skipped and the
+		// epoch falls through to plain estimation.
+		if probe := rotate(s.curPerm); !equalPerm(probe, s.rejected) {
+			s.stableBlocks = 0
+			s.st.Explorations++
+			s.prevPerm = append([]int(nil), s.curPerm...)
+			s.curPerm = probe
+			var err error
+			s.curQ, err = s.base.WithOrder(s.curPerm)
+			if err != nil {
+				return 0, err
+			}
+			s.curWidths = opWidths(s.curQ)
+			extra += recompileEngines(engines, s.opt)
+			s.pendingValidation = true
+			changed = true
+			traceDecision(s.opt.Trace, "explore", s.accounted+extra, br.Counters,
+				trace.A("from", s.prevPerm), trace.A("to", s.curPerm))
+			s.prevCostPerVec = costPerVec
+			s.accounted += extra
+			s.st.ConvergedAtCycles = s.accounted
+			return extra, nil
+		}
+	}
 	if runOpt && s.impl == exec.ImplBranching {
 		// Estimation epoch on the coordinator core.
 		c0 := coord.Cycles()
@@ -189,9 +227,10 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 		s.st.addSample(smp)
 		traceSample(s.opt.Trace, s.accounted+extra, smp)
 
-		order := AscendingOrder(est.Sels)
+		order := RankOrder(LoadWeights(s.curQ), est.Sels)
 		newPerm := compose(s.curPerm, order)
-		if !equalPerm(newPerm, s.curPerm) {
+		if !equalPerm(newPerm, s.curPerm) && !equalPerm(newPerm, s.rejected) {
+			s.stableBlocks = 0
 			s.prevPerm = append([]int(nil), s.curPerm...)
 			s.curPerm = newPerm
 			s.curQ, err = s.base.WithOrder(s.curPerm)
@@ -206,6 +245,8 @@ func (s *BlockStepper) AfterBlock(br exec.BlockResult, tuples int, last bool, co
 			traceDecision(s.opt.Trace, "reorder", s.accounted+extra, smp.Counters,
 				trace.A("from", s.prevPerm), trace.A("to", s.curPerm),
 				trace.A("est_sels", est.Sels))
+		} else {
+			s.stableBlocks++
 		}
 		if s.eligible {
 			ordered := make([]float64, len(est.Sels))

@@ -391,12 +391,23 @@ func (e *Engine) BindQuery(q *Query) error {
 		return err
 	}
 	for _, op := range q.Ops {
-		if j, ok := op.(*FKJoin); ok && j.Filter != nil && !j.Filter.Col.Bound() {
-			base, err := e.cpu.Alloc(j.Filter.Col.SizeBytes())
+		j, ok := op.(*FKJoin)
+		if !ok {
+			continue
+		}
+		cols := append([]*columnar.Column(nil), j.Via...)
+		if j.Filter != nil {
+			cols = append(cols, j.Filter.Col)
+		}
+		for _, col := range cols {
+			if col.Bound() {
+				continue
+			}
+			base, err := e.cpu.Alloc(col.SizeBytes())
 			if err != nil {
 				return err
 			}
-			j.Filter.Col.Bind(base)
+			col.Bind(base)
 		}
 	}
 	e.cpu.FlushCaches()

@@ -156,53 +156,15 @@ func predLoopRLE[T int32 | int64 | float64](c *cpu.CPU, site int, sel, out []int
 // evalBatchFused is FKJoin.EvalBatch with the filter branch phase run-length
 // encoded and the filter comparison monomorphized over the build column's
 // kind (the per-row passRaw dispatch hoisted out of the loop). The gather
-// phase — charges, key loads, interleaved probe/filter address stream — is
-// byte-for-byte the unfused kernel's.
+// phase — charges, key loads, interleaved hop/probe/filter address stream —
+// is the unfused kernel's own gatherBatch, so it is byte-for-byte identical
+// by construction.
 func (j *FKJoin) evalBatchFused(c *cpu.CPU, site int, sel, out []int32) []int32 {
-	keyBase := j.Key.Base()
-	kw := uint64(j.Key.Width())
-	c.Exec((2 + j.ExtraCostInstr) * len(sel)) // hash + index arithmetic
-	if j.Filter != nil && j.Filter.ExtraCostInstr > 0 {
-		c.Exec(j.Filter.ExtraCostInstr * len(sel))
-	}
-	ki64, ki32 := j.Key.I64(), j.Key.I32()
-	key := func(r int32) int64 {
-		var k int64
-		switch {
-		case ki64 != nil:
-			k = ki64[r]
-		case ki32 != nil:
-			k = int64(ki32[r])
-		default:
-			k = j.Key.Int64At(int(r)) // panics for non-integer keys, like Eval
-		}
-		if k < 0 || k >= j.buildRows {
-			panic(keyRangeError(k, j.buildRows))
-		}
-		return k
-	}
-	selLoads(c, sel, keyBase, kw)
+	keys := j.gatherBatch(c, sel)
 	if j.Filter == nil {
-		addrs := c.AddrBuf(len(sel))
-		for _, r := range sel {
-			bucket := uint64(key(r)) & (j.bucketLen - 1)
-			addrs = append(addrs, j.hashBase+bucket*bucketBytes)
-		}
-		c.LoadAddrs(addrs)
 		c.CondBranchN(site, false, len(sel))
 		return append(out, sel...)
 	}
-	fBase := j.Filter.Col.Base()
-	fw := uint64(j.Filter.Col.Width())
-	addrs := c.AddrBuf(2 * len(sel))
-	keys := c.KeyBuf(len(sel))
-	for _, r := range sel {
-		k := key(r)
-		bucket := uint64(k) & (j.bucketLen - 1)
-		addrs = append(addrs, j.hashBase+bucket*bucketBytes, fBase+uint64(k)*fw)
-		keys = append(keys, k)
-	}
-	c.LoadAddrs(addrs)
 	return filterKeysRLE(c, site, j.Filter, sel, keys, out)
 }
 

@@ -19,8 +19,17 @@ import (
 // while random keys (lineitem→part) hit random lines. This is exactly the
 // locality contrast of the paper's §5.5/§5.6 experiments.
 type FKJoin struct {
-	// Key is the probe-side foreign-key column (values are build row ids).
+	// Key is the probe-side foreign-key column (values are build row ids, or
+	// row ids of the first Via table on a multi-hop probe).
 	Key *columnar.Column
+	// Via is the chain of intermediate foreign-key columns a multi-hop probe
+	// follows before reaching the build side: the value loaded from Key
+	// indexes Via[0]'s table, the value loaded there indexes Via[1]'s, and so
+	// on; the last hop's value is the build row id. Empty for a direct FK
+	// join. Multi-hop probes compile join-graph edges whose source is not the
+	// driving table (e.g. lineitem→orders→customer) into the same reorderable
+	// driving-row pipeline as every other operator.
+	Via []*columnar.Column
 	// Filter is the build-side predicate applied to the matched row; nil
 	// means the join only pays lookup cost and always passes.
 	Filter *Predicate
@@ -32,15 +41,27 @@ type FKJoin struct {
 	hashBase  uint64
 	bucketLen uint64
 	buildRows int64
+	// viaI64/viaI32 cache each hop column's typed slice for the batch
+	// kernels (exactly one is non-nil per hop).
+	viaI64 [][]int64
+	viaI32 [][]int32
 }
 
 // bucketBytes is the modelled size of one hash bucket (key + row pointer).
 const bucketBytes = 16
 
-// NewFKJoin builds the join and reserves the hash-table region in the
-// simulated address space. buildRows is the build-side cardinality; all key
-// values must lie in [0, buildRows).
+// NewFKJoin builds a direct foreign-key join and reserves the hash-table
+// region in the simulated address space. buildRows is the build-side
+// cardinality; all key values must lie in [0, buildRows).
 func NewFKJoin(alloc columnar.Allocator, key *columnar.Column, buildRows int, filter *Predicate, label string) (*FKJoin, error) {
+	return NewFKJoinVia(alloc, key, nil, buildRows, filter, label)
+}
+
+// NewFKJoinVia builds a (possibly multi-hop) foreign-key join: the probe
+// follows key through each via column in order before indexing the build
+// side. buildRows is the final build-side cardinality; each hop's values
+// must lie in [0, rows of the next hop's table).
+func NewFKJoinVia(alloc columnar.Allocator, key *columnar.Column, via []*columnar.Column, buildRows int, filter *Predicate, label string) (*FKJoin, error) {
 	if key == nil {
 		return nil, fmt.Errorf("exec: fk join needs a key column")
 	}
@@ -51,6 +72,24 @@ func NewFKJoin(alloc columnar.Allocator, key *columnar.Column, buildRows int, fi
 		return nil, fmt.Errorf("exec: filter column %q has %d rows, build side has %d",
 			filter.Col.Name(), filter.Col.Len(), buildRows)
 	}
+	j := &FKJoin{
+		Key:       key,
+		Via:       append([]*columnar.Column(nil), via...),
+		Filter:    filter,
+		Label:     label,
+		buildRows: int64(buildRows),
+	}
+	for _, v := range via {
+		if v == nil {
+			return nil, fmt.Errorf("exec: fk join has a nil via column")
+		}
+		i64, i32 := v.I64(), v.I32()
+		if i64 == nil && i32 == nil {
+			return nil, fmt.Errorf("exec: via column %q must be integer-kind, is %v", v.Name(), v.Kind())
+		}
+		j.viaI64 = append(j.viaI64, i64)
+		j.viaI32 = append(j.viaI32, i32)
+	}
 	// Bucket array sized to the next power of two.
 	buckets := uint64(1)
 	for buckets < uint64(buildRows) {
@@ -60,42 +99,69 @@ func NewFKJoin(alloc columnar.Allocator, key *columnar.Column, buildRows int, fi
 	if err != nil {
 		return nil, fmt.Errorf("exec: allocating hash table: %w", err)
 	}
-	return &FKJoin{
-		Key:       key,
-		Filter:    filter,
-		Label:     label,
-		hashBase:  base,
-		bucketLen: buckets,
-		buildRows: int64(buildRows),
-	}, nil
+	j.hashBase = base
+	j.bucketLen = buckets
+	return j, nil
 }
+
+// hopBound returns the valid index range a key must lie in before hop i (the
+// hop table's row count), or the build cardinality past the last hop.
+func (j *FKJoin) hopBound(i int) int64 {
+	if i < len(j.Via) {
+		return int64(j.Via[i].Len())
+	}
+	return j.buildRows
+}
+
+// hopAt resolves hop i's value at row k through the cached typed slices.
+func (j *FKJoin) hopAt(i int, k int64) int64 {
+	if s := j.viaI64[i]; s != nil {
+		return s[k]
+	}
+	return int64(j.viaI32[i][k])
+}
+
+// probeCostInstr is the per-row hash/index arithmetic charge: 2 instructions
+// per lookup (the direct probe plus one per intermediate hop).
+func (j *FKJoin) probeCostInstr() int { return 2 * (1 + len(j.Via)) }
 
 // Name implements Op.
 func (j *FKJoin) Name() string {
 	if j.Label != "" {
 		return j.Label
 	}
-	if j.Filter != nil {
-		return fmt.Sprintf("join[%s, %s]", j.Key.Name(), j.Filter.Name())
+	path := j.Key.Name()
+	for _, v := range j.Via {
+		path += ">" + v.Name()
 	}
-	return fmt.Sprintf("join[%s]", j.Key.Name())
+	if j.Filter != nil {
+		return fmt.Sprintf("join[%s, %s]", path, j.Filter.Name())
+	}
+	return fmt.Sprintf("join[%s]", path)
 }
 
 // Width implements Op.
 func (j *FKJoin) Width() int { return j.Key.Width() }
 
-// Eval implements Op: load the key, probe the bucket, touch the build row's
-// filter column, and evaluate the filter.
+// Eval implements Op: load the key, follow any intermediate hops, probe the
+// bucket, touch the build row's filter column, and evaluate the filter.
 func (j *FKJoin) Eval(c *cpu.CPU, row int) bool {
 	c.Load(j.Key.Addr(row))
 	key := j.Key.Int64At(row)
+	for i, via := range j.Via {
+		if key < 0 || key >= int64(via.Len()) {
+			panic(keyRangeError(key, int64(via.Len())))
+		}
+		c.Load(via.Addr(int(key)))
+		key = j.hopAt(i, key)
+	}
 	if key < 0 || key >= j.buildRows {
 		panic(keyRangeError(key, j.buildRows))
 	}
 	// Dense-key hash: bucket = key. Locality of probes mirrors key order.
 	bucket := uint64(key) & (j.bucketLen - 1)
 	c.Load(j.hashBase + bucket*bucketBytes)
-	c.Exec(2 + j.ExtraCostInstr) // hash + index arithmetic
+	c.Exec(j.probeCostInstr() + j.ExtraCostInstr) // hash + index arithmetic
 	if j.Filter == nil {
 		return true
 	}
@@ -114,9 +180,36 @@ func (j *FKJoin) Eval(c *cpu.CPU, row int) bool {
 // loads ahead of the branch phase is count-exact: loads touch no predictor
 // state and branches touch no cache state.
 func (j *FKJoin) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
+	keys := j.gatherBatch(c, sel)
+	if j.Filter == nil {
+		// The join branch never fails and retires as one constant-outcome
+		// batch.
+		c.CondBranchN(site, false, len(sel))
+		return append(out, sel...)
+	}
+	for i, r := range sel {
+		ok := j.Filter.passRaw(int(keys[i]))
+		c.CondBranch(site, !ok)
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// gatherBatch is the shared gather phase of the batched join kernels (fused
+// and unfused — both must simulate byte-identical event streams): the
+// per-row arithmetic charges, the run-batched key-column gather, and one
+// LoadAddrs call over the data-dependent address stream — intermediate hops,
+// bucket probe, and (with a filter) build-side filter value, per selected
+// row, in the exact per-row order Eval performs them. Hoisting the loads
+// ahead of the branch phase is count-exact: loads touch no predictor state
+// and branches touch no cache state. Returns the resolved build row per
+// selected row (valid until the CPU's scratch is reused).
+func (j *FKJoin) gatherBatch(c *cpu.CPU, sel []int32) []int64 {
 	keyBase := j.Key.Base()
 	kw := uint64(j.Key.Width())
-	c.Exec((2 + j.ExtraCostInstr) * len(sel)) // hash + index arithmetic
+	c.Exec((j.probeCostInstr() + j.ExtraCostInstr) * len(sel)) // hash + index arithmetic
 	if j.Filter != nil && j.Filter.ExtraCostInstr > 0 {
 		c.Exec(j.Filter.ExtraCostInstr * len(sel))
 	}
@@ -131,47 +224,40 @@ func (j *FKJoin) EvalBatch(c *cpu.CPU, site int, sel, out []int32) []int32 {
 		default:
 			k = j.Key.Int64At(int(r)) // panics for non-integer keys, like Eval
 		}
-		if k < 0 || k >= j.buildRows {
-			panic(keyRangeError(k, j.buildRows))
+		if k < 0 || k >= j.hopBound(0) {
+			panic(keyRangeError(k, j.hopBound(0)))
 		}
 		return k
 	}
 	// Key-column gather, run-batched.
 	selLoads(c, sel, keyBase, kw)
-	if j.Filter == nil {
-		// Probe stream only; the join branch never fails and retires as one
-		// constant-outcome batch.
-		addrs := c.AddrBuf(len(sel))
-		for _, r := range sel {
-			bucket := uint64(key(r)) & (j.bucketLen - 1)
-			addrs = append(addrs, j.hashBase+bucket*bucketBytes)
-		}
-		c.LoadAddrs(addrs)
-		c.CondBranchN(site, false, len(sel))
-		return append(out, sel...)
+	perRow := len(j.Via) + 1
+	var fBase, fw uint64
+	if j.Filter != nil {
+		perRow++
+		fBase = j.Filter.Col.Base()
+		fw = uint64(j.Filter.Col.Width())
 	}
-	fBase := j.Filter.Col.Base()
-	fw := uint64(j.Filter.Col.Width())
-	// Interleaved probe/filter address stream, in the exact per-row order
-	// Eval performs it; the decoded keys ride along for the branch phase so
-	// the kind dispatch and range check run once per row.
-	addrs := c.AddrBuf(2 * len(sel))
+	addrs := c.AddrBuf(perRow * len(sel))
 	keys := c.KeyBuf(len(sel))
 	for _, r := range sel {
 		k := key(r)
+		for i, via := range j.Via {
+			addrs = append(addrs, via.Base()+uint64(k)*uint64(via.Width()))
+			k = j.hopAt(i, k)
+			if k < 0 || k >= j.hopBound(i+1) {
+				panic(keyRangeError(k, j.hopBound(i+1)))
+			}
+		}
 		bucket := uint64(k) & (j.bucketLen - 1)
-		addrs = append(addrs, j.hashBase+bucket*bucketBytes, fBase+uint64(k)*fw)
+		addrs = append(addrs, j.hashBase+bucket*bucketBytes)
+		if j.Filter != nil {
+			addrs = append(addrs, fBase+uint64(k)*fw)
+		}
 		keys = append(keys, k)
 	}
 	c.LoadAddrs(addrs)
-	for i, r := range sel {
-		ok := j.Filter.passRaw(int(keys[i]))
-		c.CondBranch(site, !ok)
-		if ok {
-			out = append(out, r)
-		}
-	}
-	return out
+	return keys
 }
 
 // keyRangeError formats the out-of-range FK panic shared by every probe

@@ -168,6 +168,7 @@ func All() []Experiment {
 		{"ext-topk", "Extension: morsel-parallel Top-K/OrderBy operator", ExtTopK},
 		{"ext-storage", "Extension: stored PCOL v2 tables — budget sweep, compression, packed scans", ExtStorage},
 		{"ext-trace", "Extension: traced convergence timeline — reorder events and PMU series v. simulated cycles", ExtTrace},
+		{"ext-joins", "Extension: join-graph ordering — greedy v. cost model v. PMU-progressive (2-5 tables)", ExtJoins},
 	}
 }
 

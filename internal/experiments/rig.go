@@ -104,12 +104,19 @@ func (r *rig) measureBaseline(q *exec.Query, perm []int) (exec.Result, error) {
 // measureProgressive runs q under the given initial permutation with
 // progressive optimization at the given re-optimization interval.
 func (r *rig) measureProgressive(q *exec.Query, perm []int, reopInt int) (exec.Result, core.Stats, error) {
+	return r.measureProgressiveOpts(q, perm, core.Options{ReopInterval: reopInt})
+}
+
+// measureProgressiveOpts is measureProgressive with full control over the
+// driver options (exploration probes, validation knobs); the rig attaches
+// its own trace track.
+func (r *rig) measureProgressiveOpts(q *exec.Query, perm []int, opts core.Options) (exec.Result, core.Stats, error) {
 	qo, err := q.WithOrder(perm)
 	if err != nil {
 		return exec.Result{}, core.Stats{}, err
 	}
 	r.cold()
-	opts := core.Options{ReopInterval: reopInt, Trace: r.opt}
+	opts.Trace = r.opt
 	if r.par != nil {
 		res, pst, err := core.RunParallelProgressive(r.par, qo, opts)
 		return res, pst.Stats, err

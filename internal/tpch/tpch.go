@@ -72,14 +72,56 @@ type Config struct {
 	Seed int64
 }
 
-// Dataset bundles the three generated tables.
+// Dataset bundles the generated tables: the lineitem fact table plus the
+// orders, part, customer, and nation dimensions reachable through declared
+// foreign keys (lineitem→orders, lineitem→part, orders→customer,
+// customer→nation).
 type Dataset struct {
 	Lineitem *columnar.Table
 	Orders   *columnar.Table
 	Part     *columnar.Table
-	// NumOrders and NumParts are the build-side row counts.
-	NumOrders int
-	NumParts  int
+	Customer *columnar.Table
+	Nation   *columnar.Table
+	// NumOrders, NumParts, NumCustomers, and NumNations are the build-side
+	// row counts.
+	NumOrders    int
+	NumParts     int
+	NumCustomers int
+	NumNations   int
+}
+
+// NumNationRows is the fixed nation-table cardinality (dbgen's 25 nations).
+const NumNationRows = 25
+
+// Tables returns every table of the data set keyed by name.
+func (d *Dataset) Tables() map[string]*columnar.Table {
+	return map[string]*columnar.Table{
+		"lineitem": d.Lineitem,
+		"orders":   d.Orders,
+		"part":     d.Part,
+		"customer": d.Customer,
+		"nation":   d.Nation,
+	}
+}
+
+// Table returns the named table, nil when unknown.
+func (d *Dataset) Table(name string) *columnar.Table { return d.Tables()[name] }
+
+// TableRows returns the named table's cardinality, 0 when unknown.
+func (d *Dataset) TableRows(name string) int {
+	switch name {
+	case "lineitem":
+		return d.Lineitem.NumRows()
+	case "orders":
+		return d.NumOrders
+	case "part":
+		return d.NumParts
+	case "customer":
+		return d.NumCustomers
+	case "nation":
+		return d.NumNations
+	}
+	return 0
 }
 
 // Generate builds a data set in natural (bulk-load) order: lineitem rows are
@@ -162,12 +204,34 @@ func Generate(cfg Config) (*Dataset, error) {
 	lineitem.MustAddColumn(columnar.NewFloat64("l_tax", lTax))
 	lineitem.MustAddColumn(columnar.NewDate("l_shipdate", lShipdate))
 
+	// Customer and nation dimensions plus the orders→customer foreign key.
+	// Generated from a separate RNG stream, after everything above, so the
+	// lineitem/orders/part values of earlier generator versions reproduce
+	// bit for bit for any given seed.
+	rng2 := datagen.NewRNG(cfg.Seed ^ 0x5ca1ab1e)
+	numCustomers := numOrders/10 + 1
+	orders.MustAddColumn(columnar.NewInt64("o_custkey", datagen.UniformInt64(rng2, numOrders, 0, int64(numCustomers)-1)))
+
+	customer := columnar.NewTable("customer")
+	customer.MustAddColumn(columnar.NewInt64("c_custkey", datagen.Ascending(numCustomers)))
+	customer.MustAddColumn(columnar.NewFloat64("c_acctbal", datagen.UniformFloat64(rng2, numCustomers, -999, 9999)))
+	customer.MustAddColumn(columnar.NewInt32("c_mktsegment", datagen.UniformInt32(rng2, numCustomers, 0, 4)))
+	customer.MustAddColumn(columnar.NewInt64("c_nationkey", datagen.UniformInt64(rng2, numCustomers, 0, NumNationRows-1)))
+
+	nation := columnar.NewTable("nation")
+	nation.MustAddColumn(columnar.NewInt64("n_nationkey", datagen.Ascending(NumNationRows)))
+	nation.MustAddColumn(columnar.NewInt32("n_regionkey", datagen.UniformInt32(rng2, NumNationRows, 0, 4)))
+
 	return &Dataset{
-		Lineitem:  lineitem,
-		Orders:    orders,
-		Part:      part,
-		NumOrders: numOrders,
-		NumParts:  numParts,
+		Lineitem:     lineitem,
+		Orders:       orders,
+		Part:         part,
+		Customer:     customer,
+		Nation:       nation,
+		NumOrders:    numOrders,
+		NumParts:     numParts,
+		NumCustomers: numCustomers,
+		NumNations:   NumNationRows,
 	}, nil
 }
 
@@ -245,13 +309,7 @@ func (d *Dataset) ReorderLineitem(o Ordering, seed int64) *Dataset {
 	default:
 		panic(fmt.Sprintf("tpch: unknown ordering %d", int(o)))
 	}
-	return &Dataset{
-		Lineitem:  permuteTable(d.Lineitem, perm),
-		Orders:    d.Orders,
-		Part:      d.Part,
-		NumOrders: d.NumOrders,
-		NumParts:  d.NumParts,
-	}
+	return d.withLineitem(permuteTable(d.Lineitem, perm))
 }
 
 // ReorderLineitemWindow returns a copy with lineitem rows produced by a
@@ -269,13 +327,7 @@ func (d *Dataset) ReorderLineitemWindow(window int, seed int64) *Dataset {
 	for i := range perm {
 		perm[i] = sorted[win[i]]
 	}
-	return &Dataset{
-		Lineitem:  permuteTable(d.Lineitem, perm),
-		Orders:    d.Orders,
-		Part:      d.Part,
-		NumOrders: d.NumOrders,
-		NumParts:  d.NumParts,
-	}
+	return d.withLineitem(permuteTable(d.Lineitem, perm))
 }
 
 // ShuffleLineitemWindow returns a copy with lineitem rows permuted by a
@@ -288,13 +340,16 @@ func (d *Dataset) ShuffleLineitemWindow(window int, seed int64) *Dataset {
 	rng := datagen.NewRNG(seed)
 	n := d.Lineitem.NumRows()
 	perm := datagen.WindowPermutation(rng, n, window)
-	return &Dataset{
-		Lineitem:  permuteTable(d.Lineitem, perm),
-		Orders:    d.Orders,
-		Part:      d.Part,
-		NumOrders: d.NumOrders,
-		NumParts:  d.NumParts,
-	}
+	return d.withLineitem(permuteTable(d.Lineitem, perm))
+}
+
+// withLineitem returns a copy of the data set with the lineitem table
+// replaced; every dimension table is shared (their order never changes in
+// the paper's experiments).
+func (d *Dataset) withLineitem(l *columnar.Table) *Dataset {
+	cp := *d
+	cp.Lineitem = l
+	return &cp
 }
 
 func identityPerm(n int) []int {

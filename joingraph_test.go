@@ -1,0 +1,460 @@
+package progopt
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"progopt/internal/service"
+)
+
+// fingerprintOf hashes plan terms at a fixed table and generation.
+func fingerprintOf(t *testing.T, terms []string) string {
+	t.Helper()
+	return service.Compute("lineitem", 1, terms).String()
+}
+
+// The join-graph surface (JoinOn edges, cross-filter pushdown, greedy
+// default order, multi-hop probes) extends the determinism contract: a
+// 4-table graph query must produce bit-identical results, cycles, and PMU
+// counters across Workers × GOMAXPROCS × fused/unfused × execution modes,
+// and through the workload server. These tests pin that matrix plus the
+// compile-time validation and fingerprint canonicalization of graphs.
+
+// graphTestPlan declares the 4-table graph lineitem→{orders→customer, part}
+// with edges deliberately scrambled (customer's edge first, though it chains
+// off orders) and predicates on three different tables.
+func graphTestPlan(d *Dataset) *Plan {
+	return Scan("lineitem").
+		JoinOn("orders", "o_custkey", "customer").
+		JoinOn("lineitem", "l_orderkey", "orders").
+		JoinOn("lineitem", "l_partkey", "part").
+		Filter("l_quantity", CmpLT, 30).
+		Filter("o_orderdate", CmpLE, int64(d.ShipdateCutoff(0.8))).
+		Filter("p_size", CmpLE, 25).
+		Filter("c_acctbal", CmpGE, 0.0).
+		Sum("l_extendedprice * l_discount")
+}
+
+// graphRun executes the graph plan on a fresh engine in the given
+// configuration.
+func graphRun(t *testing.T, workers int, mode Mode, noFuse bool) ExecResult {
+	t.Helper()
+	e, err := New(Config{VectorSize: 1024, Workers: workers, NoFuse: noFuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d, err := e.GenerateTPCH(24*1024, 37, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Compile(d, graphTestPlan(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(q, ExecOptions{Mode: mode, Progressive: Progressive{Interval: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestJoinGraphDeterminismMatrix: the 4-table graph query is bit-identical —
+// results, cycles, and every PMU counter — across GOMAXPROCS {1,4} ×
+// fused/unfused for each (Workers, mode) cell.
+func TestJoinGraphDeterminismMatrix(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []Mode{ModeFixed, ModeProgressive, ModeMicroAdaptive} {
+			prev := runtime.GOMAXPROCS(1)
+			ref := graphRun(t, workers, mode, false)
+			runtime.GOMAXPROCS(prev)
+			if ref.Qualifying == 0 {
+				t.Fatalf("workers=%d/%s: reference selected nothing", workers, mode)
+			}
+			for _, gmp := range []int{1, 4} {
+				for _, noFuse := range []bool{false, true} {
+					name := fmt.Sprintf("workers=%d/%s/gomaxprocs=%d/nofuse=%v", workers, mode, gmp, noFuse)
+					t.Run(name, func(t *testing.T) {
+						defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(gmp))
+						got := graphRun(t, workers, mode, noFuse)
+						sameResult(t, name, ref.Result, got.Result)
+						sameStats(t, name, ref.Stats, got.Stats)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestJoinGraphScalarOracle: the scalar row loop and the batch kernels agree
+// on the graph query's answer (the scalar loop is the reference semantics).
+func TestJoinGraphScalarOracle(t *testing.T) {
+	run := func(scalar bool) ExecResult {
+		t.Helper()
+		e, err := New(Config{VectorSize: 1024, ScalarExec: scalar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		d, err := e.GenerateTPCH(24*1024, 37, OrderNatural)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := e.Compile(d, graphTestPlan(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Exec(q, ExecOptions{Mode: ModeFixed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	scalar, batch := run(true), run(false)
+	if scalar.Qualifying != batch.Qualifying || scalar.Sum != batch.Sum {
+		t.Errorf("scalar %d/%v vs batch %d/%v", scalar.Qualifying, scalar.Sum, batch.Qualifying, batch.Sum)
+	}
+}
+
+// TestJoinGraphServedMatchesExec: a graph query that has the server's pool
+// to itself executes exactly like Engine.Exec — results and cycles.
+func TestJoinGraphServedMatchesExec(t *testing.T) {
+	setup := func(workers int) (*Engine, *Dataset) {
+		t.Helper()
+		e, err := New(Config{VectorSize: 1024, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := e.GenerateTPCH(24*1024, 37, OrderNatural)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, d
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// Separate engines so both paths compile into identical address
+			// spaces (Compile reserves join hash tables).
+			eDirect, dDirect := setup(workers)
+			defer eDirect.Close()
+			q, err := eDirect.Compile(dDirect, graphTestPlan(dDirect))
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := eDirect.Exec(q, ExecOptions{Mode: ModeFixed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eServed, dServed := setup(workers)
+			defer eServed.Close()
+			srv, err := NewServer(eServed, ServerConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			tk, err := srv.Submit(dServed, graphTestPlan(dServed), ExecOptions{Mode: ModeFixed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			served, err := tk.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "served", direct.Result, served.Result)
+		})
+	}
+}
+
+// TestJoinGraphExplain: Explain reports the resolved edges in greedy order
+// (smallest build relation first under connectivity) with hop counts and
+// pushdown counts.
+func TestJoinGraphExplain(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d, err := e.GenerateTPCH(24*1024, 37, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Compile(d, graphTestPlan(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Joins) != 3 {
+		t.Fatalf("explained %d edges, want 3: %+v", len(ex.Joins), ex.Joins)
+	}
+	// Greedy: part (n/30 rows) places before orders (n/4); customer (n/40)
+	// is smaller than both but chains off orders, so connectivity holds it
+	// back until orders is joined.
+	want := []string{"part", "orders", "customer"}
+	for i, j := range ex.Joins {
+		if j.To != want[i] {
+			t.Errorf("edge %d joins %q, want %q (greedy order %+v)", i, j.To, want[i], ex.Joins)
+		}
+	}
+	if ex.Joins[2].Hops != 2 {
+		t.Errorf("customer probe hops = %d, want 2 (lineitem→orders→customer)", ex.Joins[2].Hops)
+	}
+	if ex.Joins[0].Pushed != 1 || ex.Joins[1].Pushed != 1 || ex.Joins[2].Pushed != 1 {
+		t.Errorf("pushdown counts %+v, want one predicate per table", ex.Joins)
+	}
+	s := ex.String()
+	if !strings.Contains(s, "join graph (greedy order):") {
+		t.Errorf("Explain output lacks the join-graph line:\n%s", s)
+	}
+}
+
+// TestJoinGraphCompileErrors: every graph-validation failure names the
+// offending table or column and the valid alternatives, so the message alone
+// is enough to fix the plan.
+func TestJoinGraphCompileErrors(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d, err := e.GenerateTPCH(4096, 7, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		plan *Plan
+		want []string // all substrings must appear
+	}{
+		{
+			"unknown edge table",
+			Scan("lineitem").JoinOn("lineitem", "l_orderkey", "galaxy").Filter("l_quantity", CmpLT, 10),
+			[]string{`unknown table "galaxy"`, "customer", "lineitem", "nation", "orders", "part"},
+		},
+		{
+			"unknown key column",
+			Scan("lineitem").JoinOn("lineitem", "l_nope", "orders").Filter("l_quantity", CmpLT, 10),
+			[]string{`no column "l_nope"`, "l_orderkey", "l_partkey"},
+		},
+		{
+			"non-integer key column",
+			Scan("lineitem").JoinOn("lineitem", "l_discount", "orders").Filter("l_quantity", CmpLT, 10),
+			[]string{`join key "l_discount"`, "integer foreign-key column"},
+		},
+		{
+			"key values out of range",
+			Scan("lineitem").JoinOn("lineitem", "l_quantity", "nation").Filter("l_quantity", CmpLT, 10),
+			[]string{"key values span", `not valid row ids of "nation"`, "25 rows"},
+		},
+		{
+			"disconnected edge",
+			Scan("lineitem").JoinOn("customer", "c_nationkey", "nation").Filter("l_quantity", CmpLT, 10),
+			[]string{"disconnected", "customer→nation", `reachable from "lineitem"`},
+		},
+		{
+			"duplicate join target",
+			Scan("lineitem").
+				JoinOn("lineitem", "l_orderkey", "orders").
+				JoinOn("lineitem", "l_orderkey", "orders").
+				Filter("l_quantity", CmpLT, 10),
+			[]string{`"orders" is already in the plan`, "tree"},
+		},
+		{
+			"self join",
+			Scan("lineitem").JoinOn("orders", "o_custkey", "orders").Filter("l_quantity", CmpLT, 10),
+			[]string{"cannot join itself"},
+		},
+		{
+			"filter on unjoined table",
+			Scan("lineitem").JoinOn("lineitem", "l_orderkey", "orders").Filter("c_acctbal", CmpGE, 0.0),
+			[]string{`"c_acctbal" belongs to "customer"`, "does not join", "JoinOn"},
+		},
+		{
+			"unknown filter column",
+			Scan("lineitem").JoinOn("lineitem", "l_orderkey", "orders").Filter("l_nope", CmpLT, 10),
+			[]string{`unknown column "l_nope"`, "lineitem", "orders"},
+		},
+		{
+			"mixing Join and JoinOn",
+			Scan("lineitem").Join("orders", 0.5).JoinOn("lineitem", "l_partkey", "part"),
+			[]string{"mixes Join and JoinOn", "migrate"},
+		},
+		{
+			"legacy cross-table filter suggests JoinOn",
+			Scan("lineitem").Filter("o_orderdate", CmpLE, 1),
+			[]string{`belongs to "orders"`, "JoinOn"},
+		},
+		{
+			"legacy unknown column lists alternatives",
+			Scan("lineitem").Filter("l_nope", CmpLE, 1),
+			[]string{`unknown column "l_nope"`, "l_shipdate"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := e.Compile(d, tc.plan)
+			if err == nil {
+				t.Fatal("compiled successfully, want error")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q\n  missing substring %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestJoinGraphAnyTableDrives: with edges declared, a dimension table can
+// root the graph (orders→customer→nation).
+func TestJoinGraphAnyTableDrives(t *testing.T) {
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d, err := e.GenerateTPCH(8192, 7, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Compile(d, Scan("orders").
+		JoinOn("orders", "o_custkey", "customer").
+		JoinOn("customer", "c_nationkey", "nation").
+		Filter("o_orderdate", CmpLE, int64(d.ShipdateCutoff(0.9))).
+		Filter("c_acctbal", CmpGE, 0.0).
+		Sum("o_totalprice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(q, ExecOptions{Mode: ModeFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Qualifying == 0 {
+		t.Error("orders-driven graph selected nothing")
+	}
+}
+
+// TestJoinGraphFingerprintCanonical: isomorphic graphs — same edges and
+// predicates in any declaration order — share a fingerprint; any shape
+// difference (extra edge, re-keyed edge, different bound) changes it.
+func TestJoinGraphFingerprintCanonical(t *testing.T) {
+	a := Scan("lineitem").
+		JoinOn("lineitem", "l_orderkey", "orders").
+		JoinOn("orders", "o_custkey", "customer").
+		Filter("c_acctbal", CmpGE, 0.0)
+	b := Scan("lineitem").
+		Filter("c_acctbal", CmpGE, 0.0).
+		JoinOn("orders", "o_custkey", "customer").
+		JoinOn("lineitem", "l_orderkey", "orders")
+	ta, err := a.fingerprintTerms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.fingerprintTerms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := func(terms []string) string { return fingerprintOf(t, terms) }
+	if fp(ta) != fp(tb) {
+		t.Errorf("isomorphic graphs hash differently:\n %v\n %v", ta, tb)
+	}
+	different := []*Plan{
+		// Extra edge.
+		Scan("lineitem").
+			JoinOn("lineitem", "l_orderkey", "orders").
+			JoinOn("orders", "o_custkey", "customer").
+			JoinOn("customer", "c_nationkey", "nation").
+			Filter("c_acctbal", CmpGE, 0.0),
+		// Re-keyed edge.
+		Scan("lineitem").
+			JoinOn("lineitem", "l_partkey", "orders").
+			JoinOn("orders", "o_custkey", "customer").
+			Filter("c_acctbal", CmpGE, 0.0),
+		// Different bound.
+		Scan("lineitem").
+			JoinOn("lineitem", "l_orderkey", "orders").
+			JoinOn("orders", "o_custkey", "customer").
+			Filter("c_acctbal", CmpGE, 1.0),
+	}
+	for i, p := range different {
+		terms, err := p.fingerprintTerms()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp(terms) == fp(ta) {
+			t.Errorf("variant %d collides with the base graph: %v", i, terms)
+		}
+	}
+}
+
+// TestJoinGraphPlanCache: multi-table plans flow through the server's
+// fingerprint-keyed plan cache — isomorphic resubmission hits, LRU capacity
+// evicts, and a data-set generation bump invalidates.
+func TestJoinGraphPlanCache(t *testing.T) {
+	e, err := New(Config{VectorSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	d, err := e.GenerateTPCH(8192, 7, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(e, ServerConfig{PlanCacheSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	graph := func(bound int) *Plan {
+		return Scan("lineitem").
+			JoinOn("lineitem", "l_orderkey", "orders").
+			JoinOn("orders", "o_custkey", "customer").
+			Filter("l_quantity", CmpLT, bound).
+			Sum("l_extendedprice")
+	}
+	submit := func(d *Dataset, p *Plan) *ServedInfo {
+		t.Helper()
+		tk, err := srv.Submit(d, p, ExecOptions{Mode: ModeFixed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tk.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Served
+	}
+	first := submit(d, graph(10))
+	// Isomorphic resubmission (edges scrambled) hits the cache.
+	iso := submit(d, Scan("lineitem").
+		JoinOn("orders", "o_custkey", "customer").
+		Filter("l_quantity", CmpLT, 10).
+		JoinOn("lineitem", "l_orderkey", "orders").
+		Sum("l_extendedprice"))
+	if !iso.PlanCacheHit || iso.Fingerprint != first.Fingerprint {
+		t.Errorf("isomorphic graph resubmission missed the cache: %+v vs %+v", iso, first)
+	}
+	// A different graph plan evicts the first from the size-1 cache.
+	submit(d, graph(20))
+	again := submit(d, graph(10))
+	if again.PlanCacheHit {
+		t.Error("evicted graph plan still hit the cache")
+	}
+	if srv.Stats().PlanCacheEvictions == 0 {
+		t.Error("size-1 cache never evicted")
+	}
+	// A regenerated data set bumps the generation and invalidates.
+	d2, err := e.GenerateTPCH(8192, 7, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := submit(d2, graph(10))
+	if fresh.PlanCacheHit || fresh.Fingerprint == again.Fingerprint {
+		t.Error("generation bump did not invalidate the multi-table plan cache entry")
+	}
+}

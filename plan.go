@@ -40,6 +40,7 @@ type stepKind int
 const (
 	stepFilter stepKind = iota
 	stepJoin
+	stepEdge
 )
 
 // boundKind records which bound representation a filter step carries.
@@ -71,6 +72,9 @@ type planStep struct {
 	// Join fields.
 	build     string
 	filterSel float64
+
+	// Edge fields (JoinOn).
+	from, key, to string
 }
 
 // groupSpec is a Plan's grouped aggregation.
@@ -146,8 +150,38 @@ func (p *Plan) legacyFilter(col string, op Cmp, i int64, f float64, extraCostIns
 // Join appends a foreign-key join from the driving table into the named
 // build table ("orders" or "part") with a build-side filter of the given
 // selectivity in (0, 1].
+//
+// Join predates the join-graph API and survives for compatibility: it only
+// reaches orders and part, hard-codes the probe key and a quantile-derived
+// build filter, and keeps its declaration position in the operator order.
+// New plans should declare edges with JoinOn and push build-side predicates
+// with Filter; see the package example.
 func (p *Plan) Join(build string, filterSelectivity float64) *Plan {
 	p.steps = append(p.steps, planStep{kind: stepJoin, build: build, filterSel: filterSelectivity})
+	return p
+}
+
+// JoinOn declares an equi-join edge of the plan's join graph: rows of table
+// from reach table to through from's integer foreign-key column keyCol,
+// whose values are row ids of to. Edges may be declared in any order and may
+// chain off each other's tables (from must be the driving table or some
+// other edge's to; Compile resolves connectivity), so star and snowflake
+// shapes compose:
+//
+//	progopt.Scan("lineitem").
+//		JoinOn("lineitem", "l_orderkey", "orders").
+//		JoinOn("orders", "o_custkey", "customer").
+//		Filter("o_totalprice", progopt.CmpGE, 1000.0). // pushed to orders
+//		Filter("c_acctbal", progopt.CmpGE, 0.0)        // pushed to customer
+//
+// Predicates on joined tables are pushed to their owning table's edge
+// automatically; a joined table with no predicate still pays its probe. The
+// compiled operators are ordered by the statistics-free greedy orderer
+// (smallest build relation first under connectivity) and remain fully
+// permutable, so adaptive modes reorder across the whole join-graph search
+// space.
+func (p *Plan) JoinOn(from, keyCol, to string) *Plan {
+	p.steps = append(p.steps, planStep{kind: stepEdge, from: from, key: keyCol, to: to})
 	return p
 }
 
@@ -274,6 +308,17 @@ func (p *Plan) fingerprintTerms() ([]string, error) {
 			b.WriteString(step.build)
 			b.WriteString("|x:")
 			b.WriteString(strconv.FormatFloat(step.filterSel, 'x', -1, 64))
+		case stepEdge:
+			// Graph edges canonicalize by content alone: the order-independent
+			// hash then makes isomorphic graphs (same edges, any declaration
+			// order) collide exactly, while any shape difference — another key
+			// column, a re-rooted edge, an extra table — changes a term.
+			b.WriteString("e|")
+			b.WriteString(step.from)
+			b.WriteString("|")
+			b.WriteString(step.key)
+			b.WriteString("|")
+			b.WriteString(step.to)
 		default:
 			return nil, fmt.Errorf("progopt: unknown plan step kind %d", step.kind)
 		}

@@ -237,6 +237,9 @@ type Query struct {
 	// from RAM. Zone-map pruning is order-independent, so reordered queries
 	// share it.
 	storage *storedQuery
+	// joins describes the plan's resolved join-graph edges (nil for plans
+	// without JoinOn). Reported by Explain.
+	joins []JoinEdgeExplain
 }
 
 // NumOps returns the number of reorderable operators.

@@ -219,7 +219,7 @@ func TestRunMicroAdaptiveFacade(t *testing.T) {
 
 func TestRunExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 23 { // 14 paper figures + 9 extensions
+	if len(ids) != 24 { // 14 paper figures + 10 extensions
 		t.Fatalf("%d experiment ids", len(ids))
 	}
 	tables, err := RunExperiment("fig07", true)
